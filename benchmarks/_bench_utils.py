@@ -1,0 +1,36 @@
+"""Helpers shared by the benchmark modules (scale/seed selection, result files).
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable
+(``ci`` by default; set ``paper`` for the full surrogate sizes), the epoch
+count with ``REPRO_BENCH_EPOCHS`` (defaults to the scale's setting) and the
+seed with ``REPRO_BENCH_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+
+def bench_epochs() -> Optional[int]:
+    value = os.environ.get("REPRO_BENCH_EPOCHS", "")
+    return int(value) if value else None
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a result table and persist it under ``benchmarks/results/``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

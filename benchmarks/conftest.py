@@ -1,0 +1,30 @@
+"""Pytest fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper: it runs
+the corresponding experiment driver once (``benchmark.pedantic`` with a single
+round — the drivers themselves are the expensive part), asserts the paper's
+qualitative shape, prints the rows/series the paper reports and also writes
+them to ``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  See ``_bench_utils`` for the environment variables controlling
+scale, epochs and seed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `_bench_utils` importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,34 @@
+"""Fig. 3 — SA0-only vs SA1-only faults injected per computation phase.
+
+Paper shape (Amazon2M + SAGE, 5 % fault density, no mitigation):
+faults in either the weight or the adjacency crossbars degrade accuracy, and
+SA1-only faults degrade it more than SA0-only faults in both phases.
+"""
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+from _bench_utils import bench_epochs, bench_scale, bench_seed, record_result
+
+
+def test_bench_fig3(run_once):
+    result = run_once(
+        run_fig3,
+        dataset="amazon2m",
+        model="sage",
+        fault_density=0.05,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        epochs=bench_epochs(),
+    )
+    acc = result.accuracies
+    fault_free = result.fault_free_accuracy
+
+    # SA1 faults are more damaging than SA0 faults in both phases.
+    assert acc[("weights", "SA1 only")] <= acc[("weights", "SA0 only")] + 0.02
+    assert acc[("adjacency", "SA1 only")] <= acc[("adjacency", "SA0 only")] + 0.02
+    # Weight faults at 5 % visibly hurt accuracy relative to fault-free.
+    assert acc[("weights", "SA1 only")] < fault_free - 0.05
+    # Every measured accuracy is a valid probability.
+    assert all(0.0 <= value <= 1.0 for value in acc.values())
+
+    record_result("fig3", format_fig3(result))

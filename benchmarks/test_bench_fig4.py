@@ -1,0 +1,41 @@
+"""Fig. 4 — training-accuracy curves: fault-unaware vs FARe (Reddit, GCN).
+
+Paper shape: at 1-5 % pre-deployment fault density (SA0:SA1 = 9:1) the
+fault-unaware curves sit clearly below the fault-free curve, while the FARe
+curves overlap it as training converges.
+"""
+
+import numpy as np
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+from _bench_utils import bench_epochs, bench_scale, bench_seed, record_result
+
+
+def test_bench_fig4(run_once):
+    result = run_once(
+        run_fig4,
+        dataset="reddit",
+        model="gcn",
+        scale=bench_scale(),
+        seed=bench_seed(),
+        epochs=bench_epochs(),
+    )
+
+    worst_density = max(result.densities)
+    # At the highest density, FARe's final training accuracy is much closer to
+    # fault-free than fault-unaware's.
+    fare_gap = result.final_gap("fare", worst_density)
+    unaware_gap = result.final_gap("fault_unaware", worst_density)
+    assert fare_gap < unaware_gap
+    assert fare_gap < 0.10
+
+    # Averaged over the second half of training, FARe tracks the fault-free
+    # curve for every density.
+    half = len(result.fault_free_curve) // 2
+    reference = float(np.mean(result.fault_free_curve[half:]))
+    for density in result.densities:
+        fare_tail = float(np.mean(result.fare_curves[density][half:]))
+        assert reference - fare_tail < 0.12
+
+    record_result("fig4", format_fig4(result))

@@ -1,0 +1,52 @@
+"""Fig. 5(a) — test accuracy of all strategies, SA0:SA1 = 9:1.
+
+Paper shape across the six dataset/model pairs at 1/3/5 % fault density:
+fault-unaware loses the most accuracy, NR and clipping-only recover part of
+it, and FARe stays within about one accuracy point of the fault-free model.
+"""
+
+import numpy as np
+
+from repro.experiments.configs import COMPARED_STRATEGIES, SA_RATIO_9_1
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+from _bench_utils import bench_epochs, bench_scale, bench_seed, record_result
+
+
+def _mean_accuracy(result, strategy, density):
+    return float(
+        np.mean([result.accuracy(d, m, density, strategy) for d, m in result.pairs])
+    )
+
+
+def test_bench_fig5a(run_once):
+    result = run_once(
+        run_fig5,
+        sa_ratio=SA_RATIO_9_1,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        epochs=bench_epochs(),
+    )
+    assert set(COMPARED_STRATEGIES) == {"fault_free", "fault_unaware", "nr", "clipping", "fare"}
+
+    worst = max(result.densities)
+    fault_free = _mean_accuracy(result, "fault_free", worst)
+    unaware = _mean_accuracy(result, "fault_unaware", worst)
+    nr = _mean_accuracy(result, "nr", worst)
+    clipping = _mean_accuracy(result, "clipping", worst)
+    fare = _mean_accuracy(result, "fare", worst)
+
+    # Who wins, and by roughly what factor (paper Fig. 5(a) at 5 %).
+    assert fare > unaware + 0.05
+    assert fare >= nr - 0.02
+    assert fare >= clipping - 0.03
+    assert fault_free - fare < 0.07
+    assert fault_free - unaware > 0.08
+
+    # At every density FARe stays close to fault-free on average.
+    for density in result.densities:
+        assert _mean_accuracy(result, "fault_free", density) - _mean_accuracy(
+            result, "fare", density
+        ) < 0.07
+
+    record_result("fig5a", format_fig5(result))

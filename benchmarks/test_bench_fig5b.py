@@ -1,0 +1,53 @@
+"""Fig. 5(b) — test accuracy of all strategies, SA0:SA1 = 1:1.
+
+Paper shape: with equally likely SA0 and SA1 faults every method loses more
+accuracy than under the 9:1 ratio, NR degrades markedly (it ignores SA1
+criticality), and FARe still restores accuracy to within roughly one point of
+fault-free (restoring it by 47.6 % over fault-unaware on Reddit at 5 %).
+"""
+
+import numpy as np
+
+from repro.experiments.configs import SA_RATIO_1_1
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+from _bench_utils import bench_epochs, bench_scale, bench_seed, record_result
+
+
+def _mean_accuracy(result, strategy, density):
+    return float(
+        np.mean([result.accuracy(d, m, density, strategy) for d, m in result.pairs])
+    )
+
+
+def test_bench_fig5b(run_once):
+    result = run_once(
+        run_fig5,
+        sa_ratio=SA_RATIO_1_1,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        epochs=bench_epochs(),
+    )
+
+    worst = max(result.densities)
+    fault_free = _mean_accuracy(result, "fault_free", worst)
+    unaware = _mean_accuracy(result, "fault_unaware", worst)
+    nr = _mean_accuracy(result, "nr", worst)
+    fare = _mean_accuracy(result, "fare", worst)
+
+    # FARe restores a large fraction of the accuracy fault-unaware loses.
+    assert fare > unaware + 0.08
+    # FARe stays close to the fault-free reference even at 1:1 (the gap is
+    # wider than under 9:1, mirroring the paper's ~1.1 % vs <1 % loss).
+    assert fault_free - fare < 0.09
+    # NR handles the 1:1 ratio clearly worse than FARe.
+    assert fare > nr + 0.05
+
+    # The 1:1 ratio hurts the unprotected baseline at least as much as 9:1
+    # does (checked against the headline restoration on Reddit).
+    reddit_restoration = result.accuracy("reddit", "gcn", worst, "fare") - result.accuracy(
+        "reddit", "gcn", worst, "fault_unaware"
+    )
+    assert reddit_restoration > 0.1
+
+    record_result("fig5b", format_fig5(result))

@@ -1,0 +1,40 @@
+"""Fig. 6(a) — pre- plus post-deployment faults, SA0:SA1 = 9:1.
+
+Paper shape: with 1-3 % pre-deployment faults plus 1 % of additional faults
+appearing during training, FARe keeps the accuracy loss within ~2 % of the
+fault-free model while NR and fault-unaware lose much more.
+"""
+
+import numpy as np
+
+from repro.experiments.configs import SA_RATIO_9_1
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+from _bench_utils import bench_epochs, bench_scale, bench_seed, record_result
+
+
+def _mean_accuracy(result, strategy, density):
+    return float(
+        np.mean([result.accuracy(d, m, density, strategy) for d, m in result.pairs])
+    )
+
+
+def test_bench_fig6a(run_once):
+    result = run_once(
+        run_fig6,
+        sa_ratio=SA_RATIO_9_1,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        epochs=bench_epochs(),
+    )
+    assert result.post_deployment_extra == 0.01
+
+    worst = max(result.densities)
+    fault_free = _mean_accuracy(result, "fault_free", worst)
+    unaware = _mean_accuracy(result, "fault_unaware", worst)
+    fare = _mean_accuracy(result, "fare", worst)
+
+    assert fare > unaware
+    assert fault_free - fare < 0.09
+
+    record_result("fig6a", format_fig6(result))

@@ -1,0 +1,40 @@
+"""Fig. 6(b) — pre- plus post-deployment faults, SA0:SA1 = 1:1.
+
+Paper shape: the harsher 1:1 ratio with emerging faults widens every gap; NR
+loses up to ~15 % accuracy while FARe stays within ~2 % of fault-free.
+"""
+
+import numpy as np
+
+from repro.experiments.configs import SA_RATIO_1_1
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+from _bench_utils import bench_epochs, bench_scale, bench_seed, record_result
+
+
+def _mean_accuracy(result, strategy, density):
+    return float(
+        np.mean([result.accuracy(d, m, density, strategy) for d, m in result.pairs])
+    )
+
+
+def test_bench_fig6b(run_once):
+    result = run_once(
+        run_fig6,
+        sa_ratio=SA_RATIO_1_1,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        epochs=bench_epochs(),
+    )
+
+    worst = max(result.densities)
+    fault_free = _mean_accuracy(result, "fault_free", worst)
+    unaware = _mean_accuracy(result, "fault_unaware", worst)
+    nr = _mean_accuracy(result, "nr", worst)
+    fare = _mean_accuracy(result, "fare", worst)
+
+    assert fare > unaware
+    assert fare >= nr
+    assert fault_free - fare < 0.11
+
+    record_result("fig6b", format_fig6(result))

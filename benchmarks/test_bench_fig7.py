@@ -1,0 +1,35 @@
+"""Fig. 7 — normalised execution time (fault-free, NR, clipping, FARe).
+
+Paper shape: weight clipping and FARe cost about 1 % over fault-free
+training, while NR is several times slower (FARe is up to 4x faster than NR).
+The numbers come from the analytical pipelined-execution timing model
+evaluated at paper scale (Table II workload counts, 128x128 crossbars).
+"""
+
+from repro.experiments.fig7 import FIG7_STRATEGIES, format_fig7, run_fig7
+
+from _bench_utils import record_result
+
+
+def test_bench_fig7(run_once):
+    result = run_once(run_fig7)
+
+    workloads = {workload for workload, _ in result.normalized}
+    assert workloads == {"Ogbl (SAGE)", "Reddit (GCN)", "PPI (GAT)", "Amazon2M (GCN)"}
+    assert FIG7_STRATEGIES == ("fault_free", "nr", "clipping", "fare")
+
+    for workload in workloads:
+        fault_free = result.time(workload, "fault_free")
+        clipping = result.time(workload, "clipping")
+        fare = result.time(workload, "fare")
+        nr = result.time(workload, "nr")
+        assert fault_free == 1.0
+        # Clipping and FARe stay within a few percent of fault-free.
+        assert 1.0 <= clipping < 1.03
+        assert clipping <= fare < 1.05
+        # NR pays a multi-x penalty; FARe's speed-up over it reaches ~2-4.5x.
+        assert nr > 1.5
+        assert result.speedup_over_nr(workload) > 1.5
+    assert max(result.speedup_over_nr(w) for w in workloads) > 3.0
+
+    record_result("fig7", format_fig7(result))

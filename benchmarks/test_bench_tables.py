@@ -1,0 +1,34 @@
+"""Tables I-III of the paper (static/comparative content)."""
+
+from repro.experiments import tables
+from repro.hardware.config import DEFAULT_CONFIG
+
+from _bench_utils import bench_scale, bench_seed, record_result
+
+
+def test_bench_table1(run_once):
+    rows = run_once(tables.table1_rows)
+    assert len(rows) == 7
+    assert any("FARe" in row[0] for row in rows)
+    record_result("table1", tables.format_table1())
+
+
+def test_bench_table2(run_once):
+    rows = run_once(tables.table2_rows, scale=bench_scale(), seed=bench_seed())
+    assert len(rows) == 4
+    by_name = {row[0]: row for row in rows}
+    # Paper statistics (Table II) are reported verbatim.
+    assert by_name["ppi"][1] == 56_944
+    assert by_name["reddit"][2] == 11_606_919
+    assert by_name["amazon2m"][4] == 10_000
+    # Surrogates preserve the relative size ordering.
+    assert by_name["ppi"][6] < by_name["reddit"][6] < by_name["amazon2m"][6]
+    record_result("table2", tables.format_table2(scale=bench_scale(), seed=bench_seed()))
+
+
+def test_bench_table3(run_once):
+    rows = run_once(tables.table3_rows, DEFAULT_CONFIG)
+    rendered = tables.format_table3()
+    assert "128x128" in rendered and "2-bit/cell" in rendered and "10 MHz" in rendered
+    assert len(rows) >= 8
+    record_result("table3", rendered)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on offline machines whose setuptools
+lacks the ``wheel`` backend required by PEP 517 editable installs
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""FARe: Fault-Aware GNN Training on ReRAM-based PIM Accelerators.
+
+A from-scratch reproduction of the DATE 2024 paper.  The package is organised
+as a stack of substrates with the paper's contribution on top:
+
+* :mod:`repro.tensor` — numpy autograd engine.
+* :mod:`repro.nn` — GCN / GAT / GraphSAGE models, losses, metrics.
+* :mod:`repro.graph` — sparse matrices, partitioning, batching, datasets.
+* :mod:`repro.hardware` — ReRAM crossbars, stuck-at faults, BIST, timing.
+* :mod:`repro.matching` — b-Suitor / Hungarian / greedy assignment solvers.
+* :mod:`repro.core` — the FARe framework and the baseline strategies.
+* :mod:`repro.pipeline` — faulty pipelined training and the timing model.
+* :mod:`repro.experiments` — drivers regenerating every paper table/figure.
+
+Quickstart
+----------
+>>> from repro import api
+>>> result = api.train_on_faulty_hardware(
+...     dataset="reddit", model="gcn", strategy="fare",
+...     fault_density=0.05, epochs=5, scale="ci", seed=0)
+>>> 0.0 <= result.test_accuracy <= 1.0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro import api
+
+__all__ = ["api", "__version__"]

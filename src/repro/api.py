@@ -1,0 +1,108 @@
+"""High-level convenience API.
+
+Most users only need two calls:
+
+* :func:`train_on_faulty_hardware` — train one GNN on one (synthetic
+  surrogate) dataset under one fault-handling strategy and fault scenario,
+  returning a :class:`~repro.pipeline.trainer.TrainingResult`.
+* :func:`compare_strategies` — run several strategies on the same graph and
+  the same injected faults and return their results side by side (the shape
+  of the paper's Fig. 5/6 comparisons).
+
+Both are thin wrappers over :mod:`repro.experiments.runner`, which the
+benchmark harness uses directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.pipeline.trainer import TrainingResult
+
+
+def train_on_faulty_hardware(
+    dataset: str = "reddit",
+    model: str = "gcn",
+    strategy: str = "fare",
+    fault_density: float = 0.05,
+    sa_ratio: Tuple[float, float] = (9.0, 1.0),
+    epochs: Optional[int] = None,
+    scale: str = "ci",
+    seed: int = 0,
+    post_deployment_extra: Optional[float] = None,
+    **strategy_kwargs,
+) -> TrainingResult:
+    """Train a GNN on faulty ReRAM hardware with the chosen strategy.
+
+    Parameters
+    ----------
+    dataset:
+        ``ppi`` / ``reddit`` / ``amazon2m`` / ``ogbl`` (synthetic surrogates).
+    model:
+        ``gcn`` / ``gat`` / ``sage``.
+    strategy:
+        ``fault_free`` / ``fault_unaware`` / ``nr`` / ``clipping`` / ``fare``.
+    fault_density:
+        Pre-deployment stuck-at-fault density (paper range: 0.01-0.05).
+    sa_ratio:
+        SA0:SA1 likelihood ratio, e.g. ``(9, 1)`` or ``(1, 1)``.
+    epochs:
+        Override the scale's default epoch count.
+    scale:
+        ``'ci'`` (small, fast) or ``'paper'`` (full surrogate size).
+    seed:
+        Controls dataset synthesis, fault injection and training randomness.
+    post_deployment_extra:
+        If given, total extra fault density injected uniformly across epochs
+        (the paper's worst-case post-deployment scenario uses 0.01).
+    strategy_kwargs:
+        Extra arguments forwarded to the strategy constructor (e.g.
+        ``clipping_threshold`` or ``sa1_weight`` for FARe).
+    """
+    from repro.experiments.runner import run_single
+
+    return run_single(
+        dataset=dataset,
+        model=model,
+        strategy_name=strategy,
+        fault_density=fault_density,
+        sa_ratio=sa_ratio,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+        post_deployment_extra=post_deployment_extra,
+        strategy_kwargs=strategy_kwargs or None,
+    )
+
+
+def compare_strategies(
+    dataset: str = "reddit",
+    model: str = "gcn",
+    strategies: Iterable[str] = ("fault_free", "fault_unaware", "nr", "clipping", "fare"),
+    fault_density: float = 0.05,
+    sa_ratio: Tuple[float, float] = (9.0, 1.0),
+    epochs: Optional[int] = None,
+    scale: str = "ci",
+    seed: int = 0,
+) -> Dict[str, TrainingResult]:
+    """Run several strategies under identical fault conditions.
+
+    Every strategy sees the same synthetic graph and the same injected fault
+    maps (the hardware RNG is seeded identically), so differences in final
+    test accuracy are attributable to the strategy alone.
+    """
+    from repro.experiments.runner import run_single
+
+    results: Dict[str, TrainingResult] = {}
+    for strategy in strategies:
+        results[strategy] = run_single(
+            dataset=dataset,
+            model=model,
+            strategy_name=strategy,
+            fault_density=fault_density,
+            sa_ratio=sa_ratio,
+            scale=scale,
+            seed=seed,
+            epochs=epochs,
+        )
+    return results

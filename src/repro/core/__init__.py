@@ -1,0 +1,44 @@
+"""The FARe framework (paper Section IV) and baseline fault-handling strategies.
+
+* :mod:`~repro.core.clipping` — weight clipping for the combination phase.
+* :mod:`~repro.core.mapping` — Algorithm 1: fault-aware mapping of adjacency
+  blocks onto crossbars (block decomposition, SA1-weighted row-permutation
+  cost, crossbar pruning, optimal block→crossbar assignment).
+* :mod:`~repro.core.strategies` — the pluggable strategy objects the training
+  pipeline consumes: ``fault_free``, ``fault_unaware``, ``nr`` (neuron
+  reordering), ``clipping`` and ``fare``.
+"""
+
+from repro.core.clipping import WeightClipper
+from repro.core.mapping import (
+    BlockMapping,
+    BatchMapping,
+    FaultAwareMapper,
+    block_row_cost_matrix,
+    sequential_mapping,
+)
+from repro.core.strategies import (
+    STRATEGY_REGISTRY,
+    FaReStrategy,
+    FaultUnawareStrategy,
+    NeuronReorderingStrategy,
+    Strategy,
+    WeightClippingStrategy,
+    build_strategy,
+)
+
+__all__ = [
+    "WeightClipper",
+    "BlockMapping",
+    "BatchMapping",
+    "FaultAwareMapper",
+    "block_row_cost_matrix",
+    "sequential_mapping",
+    "STRATEGY_REGISTRY",
+    "Strategy",
+    "FaultUnawareStrategy",
+    "NeuronReorderingStrategy",
+    "WeightClippingStrategy",
+    "FaReStrategy",
+    "build_strategy",
+]

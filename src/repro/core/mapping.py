@@ -1,0 +1,382 @@
+"""Fault-aware mapping of the adjacency matrix onto crossbars (Algorithm 1).
+
+The subgraph adjacency matrix of a mini-batch is decomposed into
+crossbar-sized binary blocks.  For every (block, crossbar) pair the minimum
+number of *mismatches* achievable by permuting the block's rows is computed —
+a mismatch being a stored ``1`` landing on an SA0 cell (edge deletion) or a
+stored ``0`` landing on an SA1 cell (spurious edge).  SA1 mismatches are
+weighted more heavily because Section V-B shows SA1 faults hurt accuracy far
+more than SA0 faults.  The per-pair problem is a balanced assignment between
+block rows and crossbar rows, solved with b-Suitor (as in the paper), exact
+Hungarian, or a fast greedy matcher.  A second, outer assignment then places
+blocks onto crossbars so the total weighted mismatch count is minimal.
+
+Two refinements from the paper are implemented:
+
+* **Crossbar pruning** (Algorithm 1, line 12) — a crossbar whose best-case
+  SA1 non-overlap still exceeds the edge density of the sparsest block cannot
+  be made safe by any permutation, so it is removed from the candidate set
+  when enough crossbars remain.
+* **Sparsest-block relaxation** (line 14) — when the number of blocks equals
+  the number of candidate crossbars, the sparsest block is taken out of the
+  optimisation (it is the least sensitive to faults) and assigned to the
+  cheapest leftover crossbar afterwards, giving the denser blocks more
+  freedom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.faults import FaultMap
+from repro.matching.bipartite import solve_assignment
+from repro.matching.hungarian import hungarian_assignment
+
+
+# --------------------------------------------------------------------------- #
+# Cost computation
+# --------------------------------------------------------------------------- #
+def block_row_cost_matrix(
+    block: np.ndarray, fault_map: FaultMap, sa1_weight: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mismatch cost of mapping every block row onto every crossbar row.
+
+    Returns ``(total_cost, sa0_cost, sa1_cost)`` where each matrix has shape
+    ``(block_rows, crossbar_rows)``:
+
+    * ``sa0_cost[r, s]`` — ones of block row ``r`` that would land on SA0
+      cells of crossbar row ``s`` (deleted edges),
+    * ``sa1_cost[r, s]`` — zeros of block row ``r`` that would land on SA1
+      cells of crossbar row ``s`` (spurious edges),
+    * ``total_cost = sa0_cost + sa1_weight * sa1_cost``.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != fault_map.shape:
+        raise ValueError(
+            f"block shape {block.shape} does not match fault map {fault_map.shape}"
+        )
+    if sa1_weight < 0:
+        raise ValueError(f"sa1_weight must be non-negative, got {sa1_weight}")
+    ones = (block > 0).astype(np.float64)
+    zeros = 1.0 - ones
+    sa0_cost = ones @ fault_map.sa0.astype(np.float64).T
+    sa1_cost = zeros @ fault_map.sa1.astype(np.float64).T
+    return sa0_cost + sa1_weight * sa1_cost, sa0_cost, sa1_cost
+
+
+def block_crossbar_cost(
+    block: np.ndarray,
+    fault_map: FaultMap,
+    sa1_weight: float = 1.0,
+    method: str = "greedy",
+) -> Tuple[float, np.ndarray, float]:
+    """Best achievable (weighted) mismatch of a block on a crossbar.
+
+    Returns ``(total_cost, row_permutation, sa1_mismatch)`` where
+    ``row_permutation[i]`` is the crossbar row that block row ``i`` should be
+    written to, and ``sa1_mismatch`` is the (unweighted) number of spurious
+    edges the chosen permutation still incurs.
+    """
+    if fault_map.is_fault_free():
+        n = block.shape[0]
+        return 0.0, np.arange(n, dtype=np.int64), 0.0
+    total, _, sa1_cost = block_row_cost_matrix(block, fault_map, sa1_weight)
+    permutation, cost = solve_assignment(total, method=method)
+    sa1_mismatch = float(sa1_cost[np.arange(len(permutation)), permutation].sum())
+    return float(cost), permutation.astype(np.int64), sa1_mismatch
+
+
+# --------------------------------------------------------------------------- #
+# Mapping data structures
+# --------------------------------------------------------------------------- #
+@dataclass
+class BlockMapping:
+    """Placement of one adjacency block onto one crossbar."""
+
+    block_index: int
+    crossbar_index: int
+    row_permutation: np.ndarray
+    cost: float
+    sa1_mismatch: float = 0.0
+
+
+@dataclass
+class BatchMapping:
+    """Placement of every block of one mini-batch adjacency matrix."""
+
+    blocks: List[BlockMapping]
+    pruned_crossbars: List[int] = field(default_factory=list)
+    relaxed_blocks: List[int] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(b.cost for b in self.blocks))
+
+    @property
+    def total_sa1_mismatch(self) -> float:
+        return float(sum(b.sa1_mismatch for b in self.blocks))
+
+    def crossbar_for_block(self, block_index: int) -> BlockMapping:
+        for mapping in self.blocks:
+            if mapping.block_index == block_index:
+                return mapping
+        raise KeyError(f"no mapping recorded for block {block_index}")
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def sequential_mapping(num_blocks: int, crossbar_rows: int, num_crossbars: int) -> BatchMapping:
+    """The fault-unaware default: block ``i`` → crossbar ``i % m``, identity rows."""
+    if num_crossbars <= 0:
+        raise ValueError("num_crossbars must be positive")
+    identity = np.arange(crossbar_rows, dtype=np.int64)
+    blocks = [
+        BlockMapping(
+            block_index=i,
+            crossbar_index=i % num_crossbars,
+            row_permutation=identity.copy(),
+            cost=float("nan"),
+        )
+        for i in range(num_blocks)
+    ]
+    return BatchMapping(blocks=blocks)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 1
+# --------------------------------------------------------------------------- #
+class FaultAwareMapper:
+    """Implements the fault-aware adjacency mapping of the FARe framework.
+
+    Parameters
+    ----------
+    sa1_weight:
+        Multiplier applied to SA1 mismatches in the cost function (SA1 faults
+        are more damaging; Section V-B).
+    row_method:
+        Assignment solver used for the inner row-to-row matching
+        (``'bsuitor'`` as in the paper, ``'hungarian'`` for exact,
+        ``'greedy'`` for speed).
+    assignment_method:
+        Solver for the outer block → crossbar assignment (default exact
+        Hungarian; the problem is small).
+    prune_crossbars:
+        Enable the crossbar-pruning heuristic (Algorithm 1, line 12).
+    relax_sparsest_block:
+        Enable the sparsest-block relaxation (Algorithm 1, line 14).
+    """
+
+    def __init__(
+        self,
+        sa1_weight: float = 4.0,
+        row_method: str = "greedy",
+        assignment_method: str = "hungarian",
+        prune_crossbars: bool = True,
+        relax_sparsest_block: bool = True,
+    ) -> None:
+        if sa1_weight < 1.0:
+            raise ValueError(
+                f"sa1_weight should be >= 1 (SA1 faults are at least as bad as "
+                f"SA0), got {sa1_weight}"
+            )
+        self.sa1_weight = float(sa1_weight)
+        self.row_method = row_method
+        self.assignment_method = assignment_method
+        self.prune_crossbars = bool(prune_crossbars)
+        self.relax_sparsest_block = bool(relax_sparsest_block)
+
+    # ------------------------------------------------------------------ #
+    def _pairwise_costs(
+        self, blocks: Sequence[np.ndarray], fault_maps: Sequence[FaultMap]
+    ) -> Tuple[np.ndarray, List[List[np.ndarray]], np.ndarray]:
+        """Compute cost(i, j), row permutations and SA1 mismatches for all pairs."""
+        num_blocks = len(blocks)
+        num_crossbars = len(fault_maps)
+        costs = np.zeros((num_blocks, num_crossbars))
+        sa1_mismatches = np.zeros((num_blocks, num_crossbars))
+        permutations: List[List[np.ndarray]] = [
+            [None] * num_crossbars for _ in range(num_blocks)
+        ]
+        for j, fmap in enumerate(fault_maps):
+            for i, block in enumerate(blocks):
+                cost, perm, sa1 = block_crossbar_cost(
+                    block, fmap, self.sa1_weight, method=self.row_method
+                )
+                costs[i, j] = cost
+                sa1_mismatches[i, j] = sa1
+                permutations[i][j] = perm
+        return costs, permutations, sa1_mismatches
+
+    @staticmethod
+    def _block_densities(blocks: Sequence[np.ndarray]) -> np.ndarray:
+        return np.array(
+            [float((np.asarray(b) > 0).mean()) if np.asarray(b).size else 0.0 for b in blocks]
+        )
+
+    # ------------------------------------------------------------------ #
+    def map_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        fault_maps: Sequence[FaultMap],
+        crossbar_ids: Optional[Sequence[int]] = None,
+    ) -> BatchMapping:
+        """Run Algorithm 1 for one batch of adjacency blocks.
+
+        Parameters
+        ----------
+        blocks:
+            Dense binary blocks (all of crossbar shape).
+        fault_maps:
+            Fault maps of the candidate crossbars (as reported by the BIST).
+        crossbar_ids:
+            Physical ids of the candidate crossbars; defaults to
+            ``0..len(fault_maps)-1``.
+        """
+        num_blocks = len(blocks)
+        num_crossbars = len(fault_maps)
+        if num_blocks == 0:
+            return BatchMapping(blocks=[])
+        if num_crossbars == 0:
+            raise ValueError("need at least one crossbar")
+        if num_blocks > num_crossbars:
+            # More blocks than crossbars: the crossbars are time-multiplexed —
+            # map one chunk of (at most) m blocks at a time, each chunk with
+            # an injective assignment, and concatenate the results.
+            merged = BatchMapping(blocks=[])
+            for start in range(0, num_blocks, num_crossbars):
+                chunk = blocks[start : start + num_crossbars]
+                chunk_mapping = self.map_blocks(chunk, fault_maps, crossbar_ids)
+                for block_mapping in chunk_mapping.blocks:
+                    block_mapping.block_index += start
+                merged.blocks.extend(chunk_mapping.blocks)
+                merged.pruned_crossbars.extend(chunk_mapping.pruned_crossbars)
+                merged.relaxed_blocks.extend(
+                    index + start for index in chunk_mapping.relaxed_blocks
+                )
+            merged.blocks.sort(key=lambda m: m.block_index)
+            return merged
+        ids = list(crossbar_ids) if crossbar_ids is not None else list(range(num_crossbars))
+        if len(ids) != num_crossbars:
+            raise ValueError("crossbar_ids length must match fault_maps length")
+
+        costs, permutations, sa1_mismatches = self._pairwise_costs(blocks, fault_maps)
+        densities = self._block_densities(blocks)
+        block_cells = float(np.asarray(blocks[0]).size)
+
+        # --- crossbar pruning (line 12) --------------------------------
+        candidate_crossbars = list(range(num_crossbars))
+        pruned: List[int] = []
+        if self.prune_crossbars and num_crossbars > num_blocks:
+            sparsest_density = float(densities.min())
+            # Best-case SA1 non-overlap of each crossbar, as a fraction of
+            # the block size (to be commensurable with edge density).
+            min_sa1_fraction = sa1_mismatches.min(axis=0) / max(block_cells, 1.0)
+            for j in sorted(
+                range(num_crossbars), key=lambda c: -min_sa1_fraction[c]
+            ):
+                if len(candidate_crossbars) <= num_blocks:
+                    break
+                if min_sa1_fraction[j] > sparsest_density and min_sa1_fraction[j] > 0:
+                    candidate_crossbars.remove(j)
+                    pruned.append(ids[j])
+
+        # --- sparsest-block relaxation (line 14) ------------------------
+        active_blocks = list(range(num_blocks))
+        relaxed: List[int] = []
+        if (
+            self.relax_sparsest_block
+            and len(candidate_crossbars) == num_blocks
+            and num_blocks > 1
+        ):
+            # Only relax when the best mapping of the sparsest block still
+            # has SA1 overlap everywhere (the worst case in the paper).
+            sparsest = int(np.argmin(densities))
+            if sa1_mismatches[sparsest, candidate_crossbars].min() > 0:
+                active_blocks.remove(sparsest)
+                relaxed.append(sparsest)
+
+        # --- outer assignment (line 18) ---------------------------------
+        sub_cost = costs[np.ix_(active_blocks, candidate_crossbars)]
+        if self.assignment_method == "hungarian":
+            assignment, _ = hungarian_assignment(sub_cost)
+        else:
+            assignment, _ = solve_assignment(sub_cost, method=self.assignment_method)
+
+        block_mappings: List[BlockMapping] = []
+        used_crossbars = set()
+        for local_index, block_index in enumerate(active_blocks):
+            crossbar_local = candidate_crossbars[int(assignment[local_index])]
+            used_crossbars.add(crossbar_local)
+            block_mappings.append(
+                BlockMapping(
+                    block_index=block_index,
+                    crossbar_index=ids[crossbar_local],
+                    row_permutation=permutations[block_index][crossbar_local],
+                    cost=float(costs[block_index, crossbar_local]),
+                    sa1_mismatch=float(sa1_mismatches[block_index, crossbar_local]),
+                )
+            )
+
+        # Relaxed blocks take the cheapest crossbar not used by the others
+        # (pruned crossbars become eligible again here — every block must be
+        # stored somewhere).
+        for block_index in relaxed:
+            remaining = [j for j in range(num_crossbars) if j not in used_crossbars]
+            best = min(remaining, key=lambda j: costs[block_index, j])
+            used_crossbars.add(best)
+            block_mappings.append(
+                BlockMapping(
+                    block_index=block_index,
+                    crossbar_index=ids[best],
+                    row_permutation=permutations[block_index][best],
+                    cost=float(costs[block_index, best]),
+                    sa1_mismatch=float(sa1_mismatches[block_index, best]),
+                )
+            )
+
+        block_mappings.sort(key=lambda m: m.block_index)
+        return BatchMapping(
+            blocks=block_mappings, pruned_crossbars=pruned, relaxed_blocks=relaxed
+        )
+
+    # ------------------------------------------------------------------ #
+    def update_row_permutations(
+        self,
+        mapping: BatchMapping,
+        blocks: Sequence[np.ndarray],
+        fault_maps_by_id: dict,
+    ) -> BatchMapping:
+        """Recompute row permutations for an existing block → crossbar mapping.
+
+        This is the post-deployment refresh (Section IV-A): the block to
+        crossbar assignment ``Π`` is kept — the few faults appearing after an
+        epoch do not justify recomputing it — and only the within-crossbar row
+        permutations are recomputed against the latest BIST fault maps.  The
+        matching is linear-time work per block and is overlapped with ReRAM
+        execution on the host, so it adds no pipeline time.
+        """
+        updated: List[BlockMapping] = []
+        for block_mapping in mapping.blocks:
+            block = blocks[block_mapping.block_index]
+            fmap = fault_maps_by_id[block_mapping.crossbar_index]
+            cost, perm, sa1 = block_crossbar_cost(
+                block, fmap, self.sa1_weight, method=self.row_method
+            )
+            updated.append(
+                BlockMapping(
+                    block_index=block_mapping.block_index,
+                    crossbar_index=block_mapping.crossbar_index,
+                    row_permutation=perm,
+                    cost=cost,
+                    sa1_mismatch=sa1,
+                )
+            )
+        return BatchMapping(
+            blocks=updated,
+            pruned_crossbars=list(mapping.pruned_crossbars),
+            relaxed_blocks=list(mapping.relaxed_blocks),
+        )

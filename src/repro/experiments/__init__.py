@@ -1,0 +1,23 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each ``figN``/``table`` module exposes a ``run_*`` function returning plain
+data structures (lists of row tuples or dicts of series) plus a ``format_*``
+helper that renders the same rows the paper reports.  The benchmark harness
+under ``benchmarks/`` calls these drivers one-to-one, and ``EXPERIMENTS.md``
+records the measured numbers next to the paper's.
+"""
+
+from repro.experiments import configs, runner, tables
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, headline
+
+__all__ = [
+    "configs",
+    "runner",
+    "tables",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "headline",
+]

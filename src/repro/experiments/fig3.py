@@ -1,0 +1,82 @@
+"""Fig. 3 — impact of SA0-only vs SA1-only faults on each computation phase.
+
+The paper injects 5 % pre-deployment faults of a single type (SA0 only or SA1
+only) separately into the crossbars storing the weights and those storing the
+adjacency matrix, trains SAGE on Amazon2M without any mitigation, and compares
+the final test accuracy against the fault-free model.  The expected shape:
+
+* faults in either phase hurt accuracy (motivating mitigation in both),
+* SA1-only faults hurt substantially more than SA0-only faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import run_single
+from repro.utils.tabulate import format_table
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Accuracy of every (region, fault type) combination plus the reference."""
+
+    dataset: str
+    model: str
+    fault_density: float
+    fault_free_accuracy: float
+    accuracies: Dict[Tuple[str, str], float]
+
+    def rows(self) -> List[List]:
+        rows = [["-", "fault-free", self.fault_free_accuracy]]
+        for (region, fault_type), acc in sorted(self.accuracies.items()):
+            rows.append([region, fault_type, acc])
+        return rows
+
+
+def run_fig3(
+    dataset: str = "amazon2m",
+    model: str = "sage",
+    fault_density: float = 0.05,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> Fig3Result:
+    """Regenerate Fig. 3 (per-phase SA0/SA1 sensitivity)."""
+    fault_free = run_single(
+        dataset, model, "fault_free", 0.0, scale=scale, seed=seed, epochs=epochs
+    )
+    accuracies: Dict[Tuple[str, str], float] = {}
+    for region in ("weights", "adjacency"):
+        for fault_type, ratio in (("SA0 only", (1.0, 0.0)), ("SA1 only", (0.0, 1.0))):
+            result = run_single(
+                dataset,
+                model,
+                "fault_unaware",
+                fault_density,
+                sa_ratio=ratio,
+                scale=scale,
+                seed=seed,
+                epochs=epochs,
+                fault_region=region,
+            )
+            accuracies[(region, fault_type)] = result.final_test_accuracy
+    return Fig3Result(
+        dataset=dataset,
+        model=model,
+        fault_density=fault_density,
+        fault_free_accuracy=fault_free.final_test_accuracy,
+        accuracies=accuracies,
+    )
+
+
+def format_fig3(result: Fig3Result) -> str:
+    return format_table(
+        ["Faulted matrix", "Fault type", "Test accuracy"],
+        result.rows(),
+        title=(
+            f"Fig. 3 — {result.dataset} ({result.model.upper()}), "
+            f"{result.fault_density:.0%} fault density"
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Fig. 5 — test-accuracy comparison of all strategies.
+
+Six dataset/model pairs × three fault densities × five strategies
+(fault-free, fault-unaware, NR, weight clipping, FARe) for the 9:1 (panel a)
+and 1:1 (panel b) SA0:SA1 ratios.  The expected shape:
+
+* fault-unaware loses the most accuracy,
+* NR and clipping-only recover part of it,
+* FARe stays within ~1 % (9:1) / ~1.1 % (1:1) of the fault-free accuracy,
+* every method's drop is larger under the 1:1 ratio (more SA1 faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.configs import (
+    COMPARED_STRATEGIES,
+    FIG5_FAULT_DENSITIES,
+    FIG5_PAIRS,
+    SA_RATIO_1_1,
+    SA_RATIO_9_1,
+)
+from repro.experiments.runner import run_single
+from repro.utils.tabulate import format_table
+
+
+@dataclass
+class Fig5Result:
+    """Test accuracies keyed by (dataset, model, density, strategy)."""
+
+    sa_ratio: Tuple[float, float]
+    densities: Tuple[float, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    accuracies: Dict[Tuple[str, str, float, str], float] = field(default_factory=dict)
+
+    def accuracy(self, dataset: str, model: str, density: float, strategy: str) -> float:
+        return self.accuracies[(dataset, model, density, strategy)]
+
+    def accuracy_drop(self, dataset: str, model: str, density: float, strategy: str) -> float:
+        """Accuracy drop of ``strategy`` relative to fault-free."""
+        baseline = self.accuracies[(dataset, model, density, "fault_free")]
+        return baseline - self.accuracies[(dataset, model, density, strategy)]
+
+    def rows(self) -> List[List]:
+        rows = []
+        for dataset, model in self.pairs:
+            for density in self.densities:
+                row = [f"{dataset} ({model.upper()})", f"{density:.0%}"]
+                for strategy in COMPARED_STRATEGIES:
+                    row.append(self.accuracies[(dataset, model, density, strategy)])
+                rows.append(row)
+        return rows
+
+
+def run_fig5(
+    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
+    densities: Sequence[float] = FIG5_FAULT_DENSITIES,
+    pairs: Sequence[Tuple[str, str]] = FIG5_PAIRS,
+    strategies: Sequence[str] = COMPARED_STRATEGIES,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> Fig5Result:
+    """Regenerate one panel of Fig. 5 (choose the panel via ``sa_ratio``)."""
+    result = Fig5Result(
+        sa_ratio=tuple(sa_ratio),
+        densities=tuple(densities),
+        pairs=tuple(tuple(p) for p in pairs),
+    )
+    for dataset, model in result.pairs:
+        for density in result.densities:
+            for strategy in strategies:
+                effective_density = 0.0 if strategy == "fault_free" else density
+                run = run_single(
+                    dataset,
+                    model,
+                    strategy,
+                    effective_density,
+                    sa_ratio=sa_ratio,
+                    scale=scale,
+                    seed=seed,
+                    epochs=epochs,
+                )
+                result.accuracies[(dataset, model, density, strategy)] = (
+                    run.final_test_accuracy
+                )
+    return result
+
+
+def run_fig5a(**kwargs) -> Fig5Result:
+    """Panel (a): SA0:SA1 = 9:1."""
+    return run_fig5(sa_ratio=SA_RATIO_9_1, **kwargs)
+
+
+def run_fig5b(**kwargs) -> Fig5Result:
+    """Panel (b): SA0:SA1 = 1:1."""
+    return run_fig5(sa_ratio=SA_RATIO_1_1, **kwargs)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    ratio = f"{result.sa_ratio[0]:.0f}:{result.sa_ratio[1]:.0f}"
+    headers = ["Workload", "Density"] + [s for s in COMPARED_STRATEGIES]
+    return format_table(
+        headers,
+        result.rows(),
+        title=f"Fig. 5 — test accuracy, SA0:SA1 = {ratio}",
+    )

@@ -1,0 +1,113 @@
+"""Fig. 6 — pre-deployment plus post-deployment faults.
+
+Three dataset/model pairs × pre-deployment densities of 1 %, 2 % and 3 % with
+an additional 1 % of post-deployment faults injected uniformly across the
+training epochs (worst case), for both SA0:SA1 ratios.  The expected shape
+mirrors Fig. 5: FARe stays within ~2 % of fault-free while NR loses up to
+~15 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.configs import (
+    COMPARED_STRATEGIES,
+    FIG6_FAULT_DENSITIES,
+    FIG6_PAIRS,
+    FIG6_POST_DEPLOYMENT_EXTRA,
+    SA_RATIO_1_1,
+    SA_RATIO_9_1,
+)
+from repro.experiments.runner import run_single
+from repro.utils.tabulate import format_table
+
+
+@dataclass
+class Fig6Result:
+    """Test accuracies keyed by (dataset, model, density, strategy)."""
+
+    sa_ratio: Tuple[float, float]
+    densities: Tuple[float, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    post_deployment_extra: float
+    accuracies: Dict[Tuple[str, str, float, str], float] = field(default_factory=dict)
+
+    def accuracy(self, dataset: str, model: str, density: float, strategy: str) -> float:
+        return self.accuracies[(dataset, model, density, strategy)]
+
+    def accuracy_drop(self, dataset: str, model: str, density: float, strategy: str) -> float:
+        baseline = self.accuracies[(dataset, model, density, "fault_free")]
+        return baseline - self.accuracies[(dataset, model, density, strategy)]
+
+    def rows(self) -> List[List]:
+        rows = []
+        for dataset, model in self.pairs:
+            for density in self.densities:
+                row = [f"{dataset} ({model.upper()})", f"{density:.0%}+1%"]
+                for strategy in COMPARED_STRATEGIES:
+                    row.append(self.accuracies[(dataset, model, density, strategy)])
+                rows.append(row)
+        return rows
+
+
+def run_fig6(
+    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
+    densities: Sequence[float] = FIG6_FAULT_DENSITIES,
+    pairs: Sequence[Tuple[str, str]] = FIG6_PAIRS,
+    strategies: Sequence[str] = COMPARED_STRATEGIES,
+    post_deployment_extra: float = FIG6_POST_DEPLOYMENT_EXTRA,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> Fig6Result:
+    """Regenerate one panel of Fig. 6 (choose the panel via ``sa_ratio``)."""
+    result = Fig6Result(
+        sa_ratio=tuple(sa_ratio),
+        densities=tuple(densities),
+        pairs=tuple(tuple(p) for p in pairs),
+        post_deployment_extra=post_deployment_extra,
+    )
+    for dataset, model in result.pairs:
+        for density in result.densities:
+            for strategy in strategies:
+                is_reference = strategy == "fault_free"
+                run = run_single(
+                    dataset,
+                    model,
+                    strategy,
+                    0.0 if is_reference else density,
+                    sa_ratio=sa_ratio,
+                    scale=scale,
+                    seed=seed,
+                    epochs=epochs,
+                    post_deployment_extra=None if is_reference else post_deployment_extra,
+                )
+                result.accuracies[(dataset, model, density, strategy)] = (
+                    run.final_test_accuracy
+                )
+    return result
+
+
+def run_fig6a(**kwargs) -> Fig6Result:
+    """Panel (a): SA0:SA1 = 9:1."""
+    return run_fig6(sa_ratio=SA_RATIO_9_1, **kwargs)
+
+
+def run_fig6b(**kwargs) -> Fig6Result:
+    """Panel (b): SA0:SA1 = 1:1."""
+    return run_fig6(sa_ratio=SA_RATIO_1_1, **kwargs)
+
+
+def format_fig6(result: Fig6Result) -> str:
+    ratio = f"{result.sa_ratio[0]:.0f}:{result.sa_ratio[1]:.0f}"
+    headers = ["Workload", "Density"] + [s for s in COMPARED_STRATEGIES]
+    return format_table(
+        headers,
+        result.rows(),
+        title=(
+            f"Fig. 6 — test accuracy with pre+post-deployment faults, "
+            f"SA0:SA1 = {ratio}"
+        ),
+    )

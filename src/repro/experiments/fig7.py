@@ -1,0 +1,101 @@
+"""Fig. 7 — normalised execution time of the fault-tolerant approaches.
+
+The paper reports end-to-end training time (normalised to fault-free
+training) for NR, weight clipping and FARe on four dataset/model pairs.  The
+numbers come from the pipelined-execution timing model: the paper's values are
+derived from NeuroSim latencies, ours from the analytical
+:class:`~repro.hardware.energy.TileCostModel`, evaluated at *paper scale*
+(Table II partition/batch counts, 1024 hidden units) — no training runs are
+needed, only the workload counts.
+
+Expected shape: clipping ≈ 1.00×, FARe ≈ 1.01×, NR ≈ 2.5-4.5×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.strategies import build_strategy
+from repro.experiments.configs import strategy_kwargs_for
+from repro.hardware.config import DEFAULT_CONFIG, ReRAMConfig
+from repro.hardware.energy import TileCostModel
+from repro.pipeline.timing import (
+    estimate_execution_time,
+    fig7_paper_datasets,
+    timing_inputs_from_spec,
+)
+from repro.utils.tabulate import format_table
+
+#: Strategies shown in Fig. 7, in presentation order.
+FIG7_STRATEGIES: Tuple[str, ...] = ("fault_free", "nr", "clipping", "fare")
+
+
+@dataclass
+class Fig7Result:
+    """Normalised execution times keyed by (workload label, strategy)."""
+
+    normalized: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    absolute_seconds: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def time(self, workload: str, strategy: str) -> float:
+        return self.normalized[(workload, strategy)]
+
+    def speedup_over_nr(self, workload: str) -> float:
+        """FARe speed-up relative to the NR baseline (paper: up to 4×)."""
+        return self.normalized[(workload, "nr")] / self.normalized[(workload, "fare")]
+
+    def rows(self) -> List[List]:
+        workloads = sorted({w for w, _ in self.normalized})
+        rows = []
+        for workload in workloads:
+            row = [workload]
+            for strategy in FIG7_STRATEGIES:
+                row.append(self.normalized[(workload, strategy)])
+            rows.append(row)
+        return rows
+
+
+def run_fig7(
+    hidden_features: int = 1024,
+    epochs: int = 100,
+    config: ReRAMConfig = DEFAULT_CONFIG,
+    strategies: Sequence[str] = FIG7_STRATEGIES,
+    track_post_deployment: bool = False,
+) -> Fig7Result:
+    """Regenerate Fig. 7 from the analytical timing model at paper scale."""
+    cost_model = TileCostModel(config=config)
+    result = Fig7Result()
+    for label, spec in fig7_paper_datasets().items():
+        inputs = timing_inputs_from_spec(
+            spec,
+            hidden_features=hidden_features,
+            epochs=epochs,
+            config=config,
+            track_post_deployment=track_post_deployment,
+        )
+        baseline = None
+        for strategy_name in strategies:
+            strategy = build_strategy(
+                strategy_name, **strategy_kwargs_for(strategy_name, "paper")
+            )
+            breakdown = estimate_execution_time(
+                strategy, inputs, cost_model=cost_model, config=config
+            )
+            if strategy_name == "fault_free":
+                baseline = breakdown
+            result.absolute_seconds[(label, strategy_name)] = breakdown.total
+            result.normalized[(label, strategy_name)] = (
+                breakdown.normalized(baseline) if baseline is not None else 1.0
+            )
+    return result
+
+
+def format_fig7(result: Fig7Result) -> str:
+    headers = ["Workload"] + list(FIG7_STRATEGIES)
+    return format_table(
+        headers,
+        result.rows(),
+        float_fmt=".3f",
+        title="Fig. 7 — execution time normalised to fault-free training",
+    )

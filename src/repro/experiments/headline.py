@@ -1,0 +1,135 @@
+"""Headline claims of the paper, computed from the figure drivers.
+
+The abstract/introduction quote four numbers:
+
+1. FARe restores test accuracy by **47.6 %** on faulty hardware (Reddit, 1:1
+   ratio) relative to fault-unaware training.
+2. FARe's accuracy loss versus fault-free training is **< 1 %** (9:1) and
+   about **1.1 %** (1:1) at fault densities up to 5 %.
+3. FARe's timing overhead is about **1 %** of fault-free training.
+4. FARe is up to **4×** faster than the NR baseline.
+
+:func:`run_headline` recomputes all four from the same drivers that produce
+Fig. 5 and Fig. 7 and returns them side by side with the paper's figures so
+EXPERIMENTS.md can report paper-vs-measured directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.configs import SA_RATIO_1_1, SA_RATIO_9_1
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+from repro.utils.tabulate import format_table
+
+
+@dataclass(frozen=True)
+class HeadlineClaim:
+    """One paper claim with the measured counterpart."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    unit: str
+
+    def row(self) -> List:
+        return [self.name, self.paper_value, self.measured_value, self.unit]
+
+
+@dataclass
+class HeadlineResult:
+    claims: List[HeadlineClaim]
+
+    def claim(self, name: str) -> HeadlineClaim:
+        for claim in self.claims:
+            if claim.name == name:
+                return claim
+        raise KeyError(f"no headline claim named {name!r}")
+
+    def rows(self) -> List[List]:
+        return [claim.row() for claim in self.claims]
+
+
+def run_headline(
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+    density: float = 0.05,
+) -> HeadlineResult:
+    """Recompute the paper's headline numbers at the requested scale."""
+    reddit_pair = (("reddit", "gcn"),)
+    panel_b = run_fig5(
+        sa_ratio=SA_RATIO_1_1,
+        densities=(density,),
+        pairs=reddit_pair,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+    )
+    panel_a = run_fig5(
+        sa_ratio=SA_RATIO_9_1,
+        densities=(density,),
+        pairs=reddit_pair,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+    )
+    fig7 = run_fig7()
+
+    restoration = panel_b.accuracy("reddit", "gcn", density, "fare") - panel_b.accuracy(
+        "reddit", "gcn", density, "fault_unaware"
+    )
+    drop_9_1 = panel_a.accuracy_drop("reddit", "gcn", density, "fare")
+    drop_1_1 = panel_b.accuracy_drop("reddit", "gcn", density, "fare")
+    fare_overhead = (
+        max(fig7.time(workload, "fare") for workload, _ in fig7.normalized) - 1.0
+    )
+    best_speedup = max(
+        fig7.speedup_over_nr(workload)
+        for workload in {w for w, _ in fig7.normalized}
+    )
+
+    claims = [
+        HeadlineClaim(
+            name="accuracy_restoration_reddit_1to1",
+            paper_value=0.476,
+            measured_value=float(restoration),
+            unit="accuracy points",
+        ),
+        HeadlineClaim(
+            name="fare_accuracy_drop_9to1",
+            paper_value=0.01,
+            measured_value=float(drop_9_1),
+            unit="accuracy points (upper bound)",
+        ),
+        HeadlineClaim(
+            name="fare_accuracy_drop_1to1",
+            paper_value=0.011,
+            measured_value=float(drop_1_1),
+            unit="accuracy points (upper bound)",
+        ),
+        HeadlineClaim(
+            name="fare_timing_overhead",
+            paper_value=0.01,
+            measured_value=float(fare_overhead),
+            unit="fraction of fault-free time",
+        ),
+        HeadlineClaim(
+            name="fare_speedup_over_nr",
+            paper_value=4.0,
+            measured_value=float(best_speedup),
+            unit="x (up to)",
+        ),
+    ]
+    return HeadlineResult(claims=claims)
+
+
+def format_headline(result: HeadlineResult) -> str:
+    return format_table(
+        ["Claim", "Paper", "Measured", "Unit"],
+        result.rows(),
+        float_fmt=".3f",
+        title="Headline claims — paper vs measured",
+    )

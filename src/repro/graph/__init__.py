@@ -1,0 +1,48 @@
+"""Graph substrate: sparse matrices, graph containers, partitioning, sampling
+and synthetic dataset generation.
+
+The paper trains GNNs on PPI, Reddit, Amazon2M and OGB-citation2 with
+METIS-partitioned mini-batches (Cluster-GCN style).  This package provides the
+equivalent machinery built from scratch:
+
+* :class:`~repro.graph.sparse.CSRMatrix` — a compressed-sparse-row matrix with
+  the operations GNN aggregation needs (SpMM, transpose, block extraction).
+* :class:`~repro.graph.graph.Graph` — adjacency + features + labels + splits.
+* :mod:`~repro.graph.normalize` — symmetric/random-walk adjacency normalisation.
+* :mod:`~repro.graph.partition` — a multilevel METIS-like partitioner.
+* :mod:`~repro.graph.sampling` — Cluster-GCN batch construction.
+* :mod:`~repro.graph.datasets` — synthetic surrogates for the paper's datasets.
+"""
+
+from repro.graph.sparse import CSRMatrix
+from repro.graph.graph import Graph, Subgraph
+from repro.graph.normalize import (
+    add_self_loops,
+    normalize_adjacency,
+    row_normalize,
+)
+from repro.graph.partition import partition_graph, PartitionResult
+from repro.graph.sampling import ClusterBatchSampler, ClusterBatch
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    DatasetSpec,
+    load_dataset,
+    synthetic_graph,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "Graph",
+    "Subgraph",
+    "add_self_loops",
+    "normalize_adjacency",
+    "row_normalize",
+    "partition_graph",
+    "PartitionResult",
+    "ClusterBatchSampler",
+    "ClusterBatch",
+    "DATASET_REGISTRY",
+    "DatasetSpec",
+    "load_dataset",
+    "synthetic_graph",
+]

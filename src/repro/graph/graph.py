@@ -1,0 +1,193 @@
+"""Graph container used throughout the library.
+
+A :class:`Graph` bundles an undirected adjacency (CSR), node features, node
+labels and train/validation/test masks — exactly the payload a node
+classification dataset such as PPI, Reddit, Amazon2M or OGB-citation2
+provides.  A :class:`Subgraph` is the induced graph over a node subset plus
+the bookkeeping needed to map results back to the parent graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix
+
+
+@dataclass
+class Graph:
+    """A node-classification graph.
+
+    Attributes
+    ----------
+    adjacency:
+        Symmetric binary adjacency matrix (no self loops) in CSR form.
+    features:
+        ``(num_nodes, num_features)`` float array of node features.
+    labels:
+        ``(num_nodes,)`` integer class labels, or ``(num_nodes, num_classes)``
+        binary labels for multi-label tasks (PPI).
+    train_mask / val_mask / test_mask:
+        Boolean masks over nodes.
+    name:
+        Dataset name (used in report tables).
+    """
+
+    adjacency: CSRMatrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    name: str = "graph"
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels)
+        self.train_mask = np.asarray(self.train_mask, dtype=bool)
+        self.val_mask = np.asarray(self.val_mask, dtype=bool)
+        self.test_mask = np.asarray(self.test_mask, dtype=bool)
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape[0] != self.adjacency.shape[1]:
+            raise ValueError("adjacency must be square")
+        if self.features.shape[0] != n:
+            raise ValueError(
+                f"features rows ({self.features.shape[0]}) must equal nodes ({n})"
+            )
+        if self.labels.shape[0] != n:
+            raise ValueError(
+                f"labels rows ({self.labels.shape[0]}) must equal nodes ({n})"
+            )
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask.shape != (n,):
+                raise ValueError(f"{mask_name} must have shape ({n},), got {mask.shape}")
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges stored (twice the undirected edge count)."""
+        return self.adjacency.nnz
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels.ndim == 2:
+            return self.labels.shape[1]
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    @property
+    def is_multilabel(self) -> bool:
+        """True for multi-label tasks (PPI-style), False for single-label."""
+        return self.labels.ndim == 2
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees (count of structural neighbours)."""
+        return self.adjacency.to_binary().row_sums()
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, features={self.num_features}, "
+            f"classes={self.num_classes})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Subgraph extraction
+    # ------------------------------------------------------------------ #
+    def subgraph(self, node_ids: np.ndarray) -> "Subgraph":
+        """Return the induced subgraph over ``node_ids``."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        return Subgraph(
+            parent=self,
+            node_ids=node_ids,
+            adjacency=self.adjacency.submatrix(node_ids),
+            features=self.features[node_ids],
+            labels=self.labels[node_ids],
+            train_mask=self.train_mask[node_ids],
+            val_mask=self.val_mask[node_ids],
+            test_mask=self.test_mask[node_ids],
+        )
+
+
+@dataclass
+class Subgraph:
+    """Induced subgraph of a :class:`Graph` over a subset of its nodes."""
+
+    parent: Graph
+    node_ids: np.ndarray
+    adjacency: CSRMatrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_ids.size)
+
+    @property
+    def num_edges(self) -> int:
+        return self.adjacency.nnz
+
+    def __repr__(self) -> str:
+        return f"Subgraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def graph_from_edges(
+    num_nodes: int,
+    edges: np.ndarray,
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_mask: Optional[np.ndarray] = None,
+    val_mask: Optional[np.ndarray] = None,
+    test_mask: Optional[np.ndarray] = None,
+    name: str = "graph",
+) -> Graph:
+    """Build an undirected :class:`Graph` from an ``(E, 2)`` edge array.
+
+    Edges are symmetrised and self loops are dropped; duplicate edges are
+    collapsed.  Missing masks default to all-True (train) / all-False.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (E, 2), got {edges.shape}")
+    src, dst = edges[:, 0], edges[:, 1]
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    vals = np.ones(rows.shape[0])
+    adjacency = CSRMatrix.from_coo(rows, cols, vals, (num_nodes, num_nodes))
+    adjacency = adjacency.to_binary()
+    if train_mask is None:
+        train_mask = np.ones(num_nodes, dtype=bool)
+    if val_mask is None:
+        val_mask = np.zeros(num_nodes, dtype=bool)
+    if test_mask is None:
+        test_mask = np.zeros(num_nodes, dtype=bool)
+    return Graph(
+        adjacency=adjacency,
+        features=features,
+        labels=labels,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+        name=name,
+    )

@@ -1,0 +1,61 @@
+"""Adjacency normalisation used by the GNN aggregation phase.
+
+GCN uses the symmetric normalisation ``D^{-1/2} (A + I) D^{-1/2}``; GraphSAGE
+uses mean aggregation which corresponds to the random-walk normalisation
+``D^{-1} A``.  Both operate on the *structural* adjacency, so normalisation
+must be recomputed after fault injection flips adjacency bits — the
+:mod:`repro.pipeline.mapping_engine` does exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix
+
+
+def add_self_loops(adjacency: CSRMatrix) -> CSRMatrix:
+    """Return ``A + I`` (existing self loops are not duplicated)."""
+    n = adjacency.shape[0]
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be square")
+    dense_diag = np.zeros(n, dtype=bool)
+    rows, cols, _ = adjacency.coo()
+    dense_diag[rows[rows == cols]] = True
+    missing = np.flatnonzero(~dense_diag)
+    if missing.size == 0:
+        return adjacency
+    eye_part = CSRMatrix.from_coo(missing, missing, np.ones(missing.size), adjacency.shape)
+    return adjacency.add(eye_part)
+
+
+def normalize_adjacency(
+    adjacency: CSRMatrix, self_loops: bool = True, symmetric: bool = True
+) -> CSRMatrix:
+    """Return the normalised adjacency used for GCN-style aggregation.
+
+    Parameters
+    ----------
+    adjacency:
+        Structural adjacency matrix (binary values expected but not required).
+    self_loops:
+        If True, add ``I`` before normalising (the GCN ``A-hat``).
+    symmetric:
+        ``True`` → ``D^{-1/2} A D^{-1/2}``; ``False`` → ``D^{-1} A``.
+    """
+    mat = add_self_loops(adjacency) if self_loops else adjacency
+    degrees = mat.row_sums()
+    with np.errstate(divide="ignore"):
+        if symmetric:
+            inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+            return mat.scale_rows(inv_sqrt).scale_cols(inv_sqrt)
+        inv = np.where(degrees > 0, 1.0 / degrees, 0.0)
+        return mat.scale_rows(inv)
+
+
+def row_normalize(features: np.ndarray) -> np.ndarray:
+    """Row-normalise a feature matrix (each row sums to one where possible)."""
+    features = np.asarray(features, dtype=np.float64)
+    sums = np.abs(features).sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return features / sums

@@ -1,0 +1,324 @@
+"""A from-scratch compressed-sparse-row (CSR) matrix.
+
+Only the operations the GNN aggregation phase and the FARe mapping algorithm
+need are implemented, all on top of plain numpy:
+
+* construction from COO triplets or a dense array,
+* sparse × dense products (``dot``) and transposition,
+* sub-matrix (block) extraction — used to decompose the adjacency matrix into
+  crossbar-sized blocks for Algorithm 1,
+* row/column sums, scaling, element count, densification.
+
+The matrix is deliberately immutable: every operation returns a new instance,
+which keeps fault-injection experiments free of aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class CSRMatrix:
+    """Immutable CSR sparse matrix with float64 values."""
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+
+    def _validate(self) -> None:
+        rows, cols = self.shape
+        if rows < 0 or cols < 0:
+            raise ValueError(f"invalid shape {self.shape}")
+        if self.indptr.shape != (rows + 1,):
+            raise ValueError(
+                f"indptr must have {rows + 1} entries, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr does not start at 0 or end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have the same length")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= cols
+        ):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls,
+        rows: Iterable[int],
+        cols: Iterable[int],
+        values: Iterable[float],
+        shape: Tuple[int, int],
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build from coordinate triplets, summing duplicate coordinates."""
+        rows = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows, dtype=np.int64)
+        cols = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols, dtype=np.int64)
+        values = np.asarray(
+            list(values) if not isinstance(values, np.ndarray) else values,
+            dtype=np.float64,
+        )
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValueError("rows, cols and values must have identical length")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ValueError("column index out of range")
+        if sum_duplicates and rows.size:
+            keys = rows * n_cols + cols
+            order = np.argsort(keys, kind="stable")
+            keys, rows, cols, values = keys[order], rows[order], cols[order], values[order]
+            unique_keys, starts = np.unique(keys, return_index=True)
+            summed = np.add.reduceat(values, starts)
+            rows = (unique_keys // n_cols).astype(np.int64)
+            cols = (unique_keys % n_cols).astype(np.int64)
+            values = summed
+        else:
+            order = np.lexsort((cols, rows))
+            rows, cols, values = rows[order], cols[order], values[order]
+        counts = np.bincount(rows, minlength=n_rows)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return cls(indptr, cols, values, (n_rows, n_cols))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tolerance: float = 0.0) -> "CSRMatrix":
+        """Build from a dense array, dropping entries with |value| <= tolerance."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"dense must be 2-D, got shape {dense.shape}")
+        rows, cols = np.nonzero(np.abs(dense) > tolerance)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The n × n identity matrix."""
+        n = check_positive_int(n, "n")
+        idx = np.arange(n, dtype=np.int64)
+        return cls(np.arange(n + 1, dtype=np.int64), idx, np.ones(n), (n, n))
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        rows = int(shape[0])
+        return cls(
+            np.zeros(rows + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            shape,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored (structurally non-zero) entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero entries (the paper's "edge density")."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (column indices, values) of row ``i``."""
+        if not 0 <= i < self.shape[0]:
+            raise IndexError(f"row {i} out of range for shape {self.shape}")
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense float64 copy."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        dense[rows, self.indices] = self.data
+        return dense
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.data, other.data)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("CSRMatrix is not hashable")
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def dot(self, dense: np.ndarray) -> np.ndarray:
+        """Sparse × dense product ``self @ dense`` (dense may be 1-D or 2-D)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: {self.shape} @ {dense.shape}"
+            )
+        single = dense.ndim == 1
+        if single:
+            dense = dense[:, None]
+        out = np.zeros((self.shape[0], dense.shape[1]), dtype=np.float64)
+        if self.nnz:
+            rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+            contrib = self.data[:, None] * dense[self.indices]
+            np.add.at(out, rows, contrib)
+        return out[:, 0] if single else out
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transposed matrix (also in CSR form)."""
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return CSRMatrix.from_coo(
+            self.indices, rows, self.data, (self.shape[1], self.shape[0]),
+            sum_duplicates=False,
+        )
+
+    def scale(self, factor: float) -> "CSRMatrix":
+        """Multiply every stored value by ``factor``."""
+        return CSRMatrix(self.indptr, self.indices, self.data * factor, self.shape)
+
+    def scale_rows(self, factors: np.ndarray) -> "CSRMatrix":
+        """Multiply row ``i`` by ``factors[i]``."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.shape[0],):
+            raise ValueError(
+                f"factors must have shape ({self.shape[0]},), got {factors.shape}"
+            )
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return CSRMatrix(self.indptr, self.indices, self.data * factors[rows], self.shape)
+
+    def scale_cols(self, factors: np.ndarray) -> "CSRMatrix":
+        """Multiply column ``j`` by ``factors[j]``."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.shape[1],):
+            raise ValueError(
+                f"factors must have shape ({self.shape[1]},), got {factors.shape}"
+            )
+        return CSRMatrix(
+            self.indptr, self.indices, self.data * factors[self.indices], self.shape
+        )
+
+    def row_sums(self) -> np.ndarray:
+        """Sum of stored values per row."""
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        if self.nnz:
+            rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+            np.add.at(out, rows, self.data)
+        return out
+
+    def col_sums(self) -> np.ndarray:
+        """Sum of stored values per column."""
+        out = np.zeros(self.shape[1], dtype=np.float64)
+        if self.nnz:
+            np.add.at(out, self.indices, self.data)
+        return out
+
+    def add(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Element-wise sum of two matrices with identical shape."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        self_rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        other_rows = np.repeat(np.arange(other.shape[0]), np.diff(other.indptr))
+        return CSRMatrix.from_coo(
+            np.concatenate([self_rows, other_rows]),
+            np.concatenate([self.indices, other.indices]),
+            np.concatenate([self.data, other.data]),
+            self.shape,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structural extraction (used by the FARe mapping algorithm)
+    # ------------------------------------------------------------------ #
+    def extract_block(
+        self, row_start: int, row_stop: int, col_start: int, col_stop: int
+    ) -> np.ndarray:
+        """Return the dense ``[row_start:row_stop, col_start:col_stop]`` block.
+
+        Blocks are at most crossbar-sized (128 × 128 by default), so returning
+        a dense array is both convenient and cheap.
+        """
+        if not (0 <= row_start <= row_stop <= self.shape[0]):
+            raise ValueError(f"invalid row range [{row_start}, {row_stop})")
+        if not (0 <= col_start <= col_stop <= self.shape[1]):
+            raise ValueError(f"invalid column range [{col_start}, {col_stop})")
+        block = np.zeros((row_stop - row_start, col_stop - col_start), dtype=np.float64)
+        for local_row, global_row in enumerate(range(row_start, row_stop)):
+            start, stop = self.indptr[global_row], self.indptr[global_row + 1]
+            cols = self.indices[start:stop]
+            vals = self.data[start:stop]
+            mask = (cols >= col_start) & (cols < col_stop)
+            block[local_row, cols[mask] - col_start] = vals[mask]
+        return block
+
+    def submatrix(self, node_ids: np.ndarray) -> "CSRMatrix":
+        """Return the induced sub-matrix on ``node_ids`` (rows and columns).
+
+        This is the operation that builds a subgraph adjacency for a
+        Cluster-GCN batch.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size and (node_ids.min() < 0 or node_ids.max() >= self.shape[0]):
+            raise ValueError("node id out of range")
+        remap = -np.ones(self.shape[1], dtype=np.int64)
+        remap[node_ids] = np.arange(node_ids.size)
+        new_rows, new_cols, new_vals = [], [], []
+        for local_row, global_row in enumerate(node_ids):
+            start, stop = self.indptr[global_row], self.indptr[global_row + 1]
+            cols = self.indices[start:stop]
+            vals = self.data[start:stop]
+            local_cols = remap[cols]
+            keep = local_cols >= 0
+            new_rows.append(np.full(int(keep.sum()), local_row, dtype=np.int64))
+            new_cols.append(local_cols[keep])
+            new_vals.append(vals[keep])
+        if new_rows:
+            rows = np.concatenate(new_rows)
+            cols = np.concatenate(new_cols)
+            vals = np.concatenate(new_vals)
+        else:
+            rows = cols = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0)
+        return CSRMatrix.from_coo(
+            rows, cols, vals, (node_ids.size, node_ids.size), sum_duplicates=False
+        )
+
+    def to_binary(self) -> "CSRMatrix":
+        """Return the structural (0/1) version of this matrix."""
+        return CSRMatrix(self.indptr, self.indices, np.ones_like(self.data), self.shape)
+
+    def coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (rows, cols, values) coordinate arrays."""
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return rows, self.indices.copy(), self.data.copy()

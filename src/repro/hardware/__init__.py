@@ -1,0 +1,63 @@
+"""ReRAM processing-in-memory hardware substrate.
+
+Models the portion of the ReRAM-based PIM accelerator that the FARe paper
+depends on:
+
+* :mod:`~repro.hardware.config` — architecture specification (Table III).
+* :mod:`~repro.hardware.quantization` — 16-bit fixed-point weights split into
+  2-bit cells with shift-and-add reconstruction.
+* :mod:`~repro.hardware.faults` — stuck-at-0 / stuck-at-1 fault maps, Poisson
+  clustering across crossbars and uniform placement within a crossbar.
+* :mod:`~repro.hardware.crossbar` / :mod:`~repro.hardware.tile` — crossbar and
+  tile storage models with write counting.
+* :mod:`~repro.hardware.bist` — built-in self-test producing fault maps.
+* :mod:`~repro.hardware.endurance` — write-endurance and post-deployment fault
+  scheduling.
+* :mod:`~repro.hardware.energy` — NeuroSim-style latency/area/power constants.
+"""
+
+from repro.hardware.config import ReRAMConfig, DEFAULT_CONFIG
+from repro.hardware.quantization import (
+    FixedPointFormat,
+    quantize,
+    dequantize,
+    codes_to_cells,
+    cells_to_codes,
+    quantize_to_cells,
+    dequantize_from_cells,
+)
+from repro.hardware.faults import (
+    FaultMap,
+    FaultModel,
+    apply_faults_to_binary,
+    apply_faults_to_cells,
+)
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.tile import Tile, CrossbarPool
+from repro.hardware.bist import BISTController, BISTReport
+from repro.hardware.endurance import EnduranceModel, PostDeploymentSchedule
+from repro.hardware.energy import TileCostModel
+
+__all__ = [
+    "ReRAMConfig",
+    "DEFAULT_CONFIG",
+    "FixedPointFormat",
+    "quantize",
+    "dequantize",
+    "codes_to_cells",
+    "cells_to_codes",
+    "quantize_to_cells",
+    "dequantize_from_cells",
+    "FaultMap",
+    "FaultModel",
+    "apply_faults_to_binary",
+    "apply_faults_to_cells",
+    "Crossbar",
+    "Tile",
+    "CrossbarPool",
+    "BISTController",
+    "BISTReport",
+    "EnduranceModel",
+    "PostDeploymentSchedule",
+    "TileCostModel",
+]

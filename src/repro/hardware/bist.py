@@ -1,0 +1,108 @@
+"""Built-in self-test (BIST) model.
+
+The FARe mapping algorithm consumes the fault distribution reported by a BIST
+circuit (reference [7] of the paper).  The BIST adds ~0.13 % area and, when it
+is re-run at the end of each epoch to capture post-deployment faults, ~0.13 %
+of execution time.  This module models the *functional* interface — producing
+(possibly imperfect) fault maps from the true crossbar state — plus those
+overhead constants, which the timing model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.config import DEFAULT_CONFIG, ReRAMConfig
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.faults import FaultMap
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class BISTReport:
+    """Result of one BIST scan across a set of crossbars."""
+
+    fault_maps: List[FaultMap]
+    scan_index: int
+    detected_faults: int
+    missed_faults: int
+    coverage: float
+    time_overhead_fraction: float
+
+    def density(self) -> float:
+        """Detected fault density across the scanned crossbars."""
+        cells = sum(f.sa0.size for f in self.fault_maps)
+        return self.detected_faults / cells if cells else 0.0
+
+
+class BISTController:
+    """Scans crossbars and reports their stuck-at-fault maps.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration (provides the overhead constants).
+    coverage:
+        Probability that an individual fault is detected; 1.0 models the
+        paper's assumption of an ideal March-test based BIST.
+    seed:
+        RNG seed used only when ``coverage < 1``.
+    """
+
+    def __init__(
+        self,
+        config: ReRAMConfig = DEFAULT_CONFIG,
+        coverage: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.coverage = check_fraction(coverage, "coverage")
+        self._rng = ensure_rng(seed)
+        self.scan_count = 0
+        self.history: List[BISTReport] = []
+
+    def scan(self, crossbars: Sequence[Crossbar]) -> BISTReport:
+        """Scan ``crossbars`` and return the detected fault maps.
+
+        With full coverage the detected maps equal the true maps; with partial
+        coverage each fault is independently missed with probability
+        ``1 - coverage`` (missed faults simply do not appear in the report).
+        """
+        detected_maps: List[FaultMap] = []
+        detected = 0
+        missed = 0
+        for crossbar in crossbars:
+            true_map = crossbar.fault_map
+            if self.coverage >= 1.0:
+                found = true_map.copy()
+            else:
+                keep_sa0 = true_map.sa0 & (
+                    self._rng.random(true_map.shape) < self.coverage
+                )
+                keep_sa1 = true_map.sa1 & (
+                    self._rng.random(true_map.shape) < self.coverage
+                )
+                found = FaultMap(keep_sa0, keep_sa1)
+            detected += found.num_faults
+            missed += true_map.num_faults - found.num_faults
+            detected_maps.append(found)
+        report = BISTReport(
+            fault_maps=detected_maps,
+            scan_index=self.scan_count,
+            detected_faults=detected,
+            missed_faults=missed,
+            coverage=self.coverage,
+            time_overhead_fraction=self.config.bist_time_overhead,
+        )
+        self.scan_count += 1
+        self.history.append(report)
+        return report
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        """Fractional area added by the BIST circuitry (paper: 0.13 %)."""
+        return self.config.bist_area_overhead

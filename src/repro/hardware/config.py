@@ -1,0 +1,116 @@
+"""ReRAM-PIM architecture specification (paper Table III).
+
+The paper's tile contains 96 crossbars of 128 × 128 cells at 2 bits/cell,
+96 8-bit ADCs, 12 × 128 × 8 1-bit DACs, eight 16-bit comparators at 2 GHz and
+eight 2:1 multiplexers used to implement weight clipping, clocked at 10 MHz.
+Each tile consumes 0.34 W and occupies 0.157 mm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ReRAMConfig:
+    """Architecture parameters for the simulated ReRAM PIM accelerator."""
+
+    crossbar_rows: int = 128
+    crossbar_cols: int = 128
+    bits_per_cell: int = 2
+    weight_bits: int = 16
+    crossbars_per_tile: int = 96
+    num_tiles: int = 8
+    adc_bits: int = 8
+    adcs_per_tile: int = 96
+    dac_bits: int = 1
+    dacs_per_tile: int = 12 * 128 * 8
+    comparator_bits: int = 16
+    comparators_per_tile: int = 8
+    comparator_frequency_hz: float = 2e9
+    mux_ratio: int = 2
+    muxes_per_tile: int = 8
+    clock_frequency_hz: float = 10e6
+    tile_power_w: float = 0.34
+    tile_area_mm2: float = 0.157
+    bist_time_overhead: float = 0.0013
+    bist_area_overhead: float = 0.0013
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.crossbar_rows, "crossbar_rows")
+        check_positive_int(self.crossbar_cols, "crossbar_cols")
+        check_positive_int(self.bits_per_cell, "bits_per_cell")
+        check_positive_int(self.weight_bits, "weight_bits")
+        check_positive_int(self.crossbars_per_tile, "crossbars_per_tile")
+        check_positive_int(self.num_tiles, "num_tiles")
+        if self.weight_bits % self.bits_per_cell != 0:
+            raise ValueError(
+                "weight_bits must be a multiple of bits_per_cell "
+                f"({self.weight_bits} % {self.bits_per_cell} != 0)"
+            )
+        if self.clock_frequency_hz <= 0:
+            raise ValueError("clock_frequency_hz must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def cells_per_weight(self) -> int:
+        """Number of ReRAM cells used to store one fixed-point weight."""
+        return self.weight_bits // self.bits_per_cell
+
+    @property
+    def cell_levels(self) -> int:
+        """Number of distinct conductance levels per cell."""
+        return 2**self.bits_per_cell
+
+    @property
+    def cells_per_crossbar(self) -> int:
+        return self.crossbar_rows * self.crossbar_cols
+
+    @property
+    def crossbar_count(self) -> int:
+        """Total number of crossbars across all tiles."""
+        return self.crossbars_per_tile * self.num_tiles
+
+    @property
+    def total_cells(self) -> int:
+        return self.crossbar_count * self.cells_per_crossbar
+
+    @property
+    def weights_per_crossbar_row(self) -> int:
+        """How many full 16-bit weights fit in one crossbar row."""
+        return self.crossbar_cols // self.cells_per_weight
+
+    @property
+    def total_power_w(self) -> float:
+        return self.tile_power_w * self.num_tiles
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.tile_area_mm2 * self.num_tiles
+
+    def describe(self) -> Dict[str, str]:
+        """Return the rows of Table III as an ordered mapping."""
+        return {
+            "ADCs": f"{self.adcs_per_tile} x {self.adc_bits}-bit",
+            "DACs": f"{self.dacs_per_tile} x {self.dac_bits}-bit",
+            "Crossbars": f"{self.crossbars_per_tile} x "
+            f"{self.crossbar_rows}x{self.crossbar_cols}",
+            "Cell resolution": f"{self.bits_per_cell}-bit/cell",
+            "Clock": f"{self.clock_frequency_hz / 1e6:.0f} MHz",
+            "Comparators": f"{self.comparators_per_tile} x "
+            f"{self.comparator_bits}-bit @ "
+            f"{self.comparator_frequency_hz / 1e9:.0f} GHz",
+            "Muxes": f"{self.muxes_per_tile} x {self.mux_ratio}:1",
+            "Tile power": f"{self.tile_power_w:.2f} W",
+            "Tile area": f"{self.tile_area_mm2:.3f} mm^2",
+        }
+
+
+#: The configuration matching the paper's Table III.
+DEFAULT_CONFIG = ReRAMConfig()

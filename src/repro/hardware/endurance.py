@@ -1,0 +1,85 @@
+"""Write-endurance modelling and post-deployment fault scheduling.
+
+ReRAM cells endure 10^6–10^12 writes before failing (Section IV-A).  During
+pipelined mini-batch training the adjacency crossbars are rewritten every
+batch, so faults can emerge *post-deployment*.  The paper's worst-case
+experiment adds a total of 1 % extra fault density spread uniformly over the
+training epochs; :class:`PostDeploymentSchedule` reproduces that protocol, and
+:class:`EnduranceModel` links write counts to failure probability for the
+finer-grained analyses in the test-suite and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """Log-normal write-endurance model.
+
+    A cell fails once its cumulative write count exceeds its endurance, which
+    is drawn (conceptually) from a log-normal distribution centred at
+    ``mean_endurance``.  The closed-form helpers below avoid storing a sample
+    per cell by working with the population failure probability.
+    """
+
+    mean_endurance: float = 1e9
+    sigma_log10: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_endurance <= 0:
+            raise ValueError("mean_endurance must be positive")
+        if self.sigma_log10 <= 0:
+            raise ValueError("sigma_log10 must be positive")
+
+    def failure_probability(self, writes: float) -> float:
+        """Probability that a cell has failed after ``writes`` write cycles."""
+        if writes <= 0:
+            return 0.0
+        z = (np.log10(writes) - np.log10(self.mean_endurance)) / self.sigma_log10
+        # Standard normal CDF via the error function.
+        from math import erf, sqrt
+
+        return 0.5 * (1.0 + erf(z / sqrt(2.0)))
+
+    def expected_new_faults(self, writes: float, num_cells: int) -> float:
+        """Expected number of failed cells among ``num_cells`` after ``writes``."""
+        num_cells = check_positive_int(num_cells, "num_cells")
+        return self.failure_probability(writes) * num_cells
+
+
+@dataclass(frozen=True)
+class PostDeploymentSchedule:
+    """Spread a total extra fault density uniformly over training epochs.
+
+    The paper's post-deployment experiment (Fig. 6) adds 1 % total extra fault
+    density distributed uniformly across the epochs of one training run —
+    explicitly a worst case, since real endurance is orders of magnitude above
+    the per-epoch write count.
+    """
+
+    total_extra_density: float = 0.01
+    num_epochs: int = 100
+
+    def __post_init__(self) -> None:
+        check_fraction(self.total_extra_density, "total_extra_density")
+        check_positive_int(self.num_epochs, "num_epochs")
+
+    @property
+    def per_epoch_density(self) -> float:
+        """Extra fault density injected at the end of each epoch."""
+        return self.total_extra_density / self.num_epochs
+
+    def densities(self) -> List[float]:
+        """Per-epoch increments (length ``num_epochs``, sums to the total)."""
+        return [self.per_epoch_density] * self.num_epochs
+
+    def cumulative(self) -> List[float]:
+        """Cumulative extra density after each epoch."""
+        return [(i + 1) * self.per_epoch_density for i in range(self.num_epochs)]

@@ -1,0 +1,142 @@
+"""Fixed-point weight representation and bit-slicing onto ReRAM cells.
+
+Weights on the accelerator are 16-bit fixed-point values distributed across
+eight 2-bit cells (Section III-A).  The value is stored in *offset-binary*
+form — the conductance encodes ``code = round(w / scale) + 2^(bits-1)`` — so a
+stuck-at-1 fault in a cell holding the most-significant bits pushes the
+reconstructed weight towards the extreme of the representable range ("weight
+explosion"), while faults in least-significant cells only perturb the value
+slightly.  This is exactly the asymmetry Fig. 1(a) of the paper illustrates
+and what the weight-clipping mitigation targets.
+
+The public helpers operate on arbitrary-shaped numpy arrays and are fully
+vectorised; the cell axis is always the *last* axis of the returned array,
+ordered most-significant cell first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A symmetric fixed-point format.
+
+    Parameters
+    ----------
+    total_bits:
+        Width of the representation (16 in the paper).
+    max_value:
+        Largest representable magnitude; the quantisation step is
+        ``2 * max_value / 2**total_bits``.
+    bits_per_cell:
+        Number of bits stored per ReRAM cell (2 in the paper).
+    """
+
+    total_bits: int = 16
+    max_value: float = 4.0
+    bits_per_cell: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.total_bits, "total_bits")
+        check_positive_int(self.bits_per_cell, "bits_per_cell")
+        if self.total_bits % self.bits_per_cell != 0:
+            raise ValueError(
+                f"total_bits ({self.total_bits}) must be divisible by "
+                f"bits_per_cell ({self.bits_per_cell})"
+            )
+        if self.max_value <= 0:
+            raise ValueError(f"max_value must be positive, got {self.max_value}")
+
+    @property
+    def levels(self) -> int:
+        """Number of representable codes."""
+        return 2**self.total_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant code step."""
+        return 2.0 * self.max_value / self.levels
+
+    @property
+    def offset(self) -> int:
+        """Code corresponding to the value zero (offset-binary midpoint)."""
+        return self.levels // 2
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells needed to store one value."""
+        return self.total_bits // self.bits_per_cell
+
+    @property
+    def cell_levels(self) -> int:
+        return 2**self.bits_per_cell
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantise float values to integer codes in ``[0, 2**bits - 1]``.
+
+    Values outside ``[-max_value, max_value)`` saturate, mirroring the
+    behaviour of the write driver.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.round(values / fmt.scale).astype(np.int64) + fmt.offset
+    return np.clip(codes, 0, fmt.levels - 1)
+
+
+def dequantize(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Convert integer codes back to float values."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= fmt.levels):
+        raise ValueError("codes out of range for the given format")
+    return (codes - fmt.offset).astype(np.float64) * fmt.scale
+
+
+def codes_to_cells(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Split codes into per-cell values, most-significant cell first.
+
+    The returned array has shape ``codes.shape + (fmt.num_cells,)`` and each
+    entry lies in ``[0, 2**bits_per_cell - 1]``.  Reconstruction corresponds to
+    the hardware's shift-and-add over the cell outputs.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    cells = np.empty(codes.shape + (fmt.num_cells,), dtype=np.int64)
+    mask = fmt.cell_levels - 1
+    for position in range(fmt.num_cells):
+        shift = fmt.bits_per_cell * (fmt.num_cells - 1 - position)
+        cells[..., position] = (codes >> shift) & mask
+    return cells
+
+
+def cells_to_codes(cells: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Inverse of :func:`codes_to_cells` (the shift-and-add reduction)."""
+    cells = np.asarray(cells, dtype=np.int64)
+    if cells.shape[-1] != fmt.num_cells:
+        raise ValueError(
+            f"last axis must have {fmt.num_cells} cells, got {cells.shape[-1]}"
+        )
+    codes = np.zeros(cells.shape[:-1], dtype=np.int64)
+    for position in range(fmt.num_cells):
+        shift = fmt.bits_per_cell * (fmt.num_cells - 1 - position)
+        codes = codes + (cells[..., position] << shift)
+    return codes
+
+
+def quantize_to_cells(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantise values and split them into cells in one call."""
+    return codes_to_cells(quantize(values, fmt), fmt)
+
+
+def dequantize_from_cells(cells: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Reassemble cells and dequantise back to float values."""
+    return dequantize(cells_to_codes(cells, fmt), fmt)
+
+
+def quantization_error(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Element-wise error introduced by a quantise/dequantise round trip."""
+    return dequantize(quantize(values, fmt), fmt) - np.asarray(values, dtype=np.float64)

@@ -1,0 +1,34 @@
+"""Weighted bipartite matching algorithms.
+
+Algorithm 1 of the paper solves two nested matching problems:
+
+1. ``cost(i, j)`` — the cheapest way to place the rows of adjacency block
+   ``a_i`` onto the rows of crossbar ``c_j`` (a balanced assignment problem on
+   the mismatch-count matrix).  The paper uses the b-Suitor half-approximation
+   algorithm [15]; exact Hungarian and a fast vectorised greedy matcher are
+   provided as alternatives and compared in an ablation benchmark.
+2. The block → crossbar assignment ``Π`` minimising total cost (a rectangular
+   assignment problem, solved exactly).
+
+This package implements all three matchers from scratch plus shared helpers
+for validating and scoring assignments.
+"""
+
+from repro.matching.bipartite import (
+    assignment_cost,
+    solve_assignment,
+    validate_assignment,
+)
+from repro.matching.greedy import greedy_assignment
+from repro.matching.hungarian import hungarian_assignment
+from repro.matching.bsuitor import bsuitor_assignment, bsuitor_bmatching
+
+__all__ = [
+    "assignment_cost",
+    "solve_assignment",
+    "validate_assignment",
+    "greedy_assignment",
+    "hungarian_assignment",
+    "bsuitor_assignment",
+    "bsuitor_bmatching",
+]

@@ -1,0 +1,64 @@
+"""Shared helpers for assignment problems: validation, scoring, dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.matching.greedy import greedy_assignment
+from repro.matching.hungarian import hungarian_assignment
+from repro.matching.bsuitor import bsuitor_assignment
+
+Assignment = Tuple[np.ndarray, float]
+
+#: Registry of available assignment solvers.
+SOLVERS: Dict[str, Callable[[np.ndarray], Assignment]] = {
+    "greedy": greedy_assignment,
+    "hungarian": hungarian_assignment,
+    "bsuitor": bsuitor_assignment,
+}
+
+
+def solve_assignment(cost: np.ndarray, method: str = "hungarian") -> Assignment:
+    """Solve an assignment problem with the named method.
+
+    Parameters
+    ----------
+    cost:
+        ``(n_rows, n_cols)`` cost matrix, ``n_rows <= n_cols``.
+    method:
+        ``'hungarian'`` (exact), ``'bsuitor'`` (half-approximation, the
+        algorithm the paper uses) or ``'greedy'`` (fast heuristic).
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown assignment method {method!r}; available: {sorted(SOLVERS)}"
+        ) from exc
+    return solver(np.asarray(cost, dtype=np.float64))
+
+
+def validate_assignment(assignment: np.ndarray, n_cols: int) -> None:
+    """Raise if ``assignment`` is not an injective row → column mapping."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.ndim != 1:
+        raise ValueError("assignment must be 1-D")
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= n_cols):
+        raise ValueError("assignment refers to a column out of range")
+    if len(set(assignment.tolist())) != assignment.size:
+        raise ValueError("assignment maps two rows to the same column")
+
+
+def assignment_cost(cost: np.ndarray, assignment: np.ndarray) -> float:
+    """Total cost of ``assignment`` under ``cost``."""
+    cost = np.asarray(cost, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    validate_assignment(assignment, cost.shape[1])
+    if assignment.shape[0] != cost.shape[0]:
+        raise ValueError(
+            f"assignment length {assignment.shape[0]} does not match rows "
+            f"{cost.shape[0]}"
+        )
+    return float(cost[np.arange(cost.shape[0]), assignment].sum())

@@ -1,0 +1,187 @@
+"""The b-Suitor algorithm for weighted b-matching (Khan et al., SISC 2016).
+
+The paper's Algorithm 1 uses b-Suitor — a half-approximation algorithm for
+maximum-weight b-matching — to compute the row-to-row matching between an
+adjacency block and a crossbar's fault map (reference [15]).  This module
+implements the sequential b-Suitor algorithm for general bipartite graphs plus
+an assignment-problem front-end used by the mapper.
+
+The algorithm: every vertex ``u`` keeps proposing to its heaviest eligible
+neighbour (one whose current weakest suitor is lighter than the proposed
+edge); accepted proposals may displace a previous suitor, which then gets
+re-enqueued to propose elsewhere.  At termination, pairs that are mutually
+each other's suitors form the matching, whose weight is at least half the
+optimum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class _SuitorHeap:
+    """Min-heap of (weight, partner) pairs capped at capacity ``b``."""
+
+    __slots__ = ("capacity", "heap")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.heap: List[Tuple[float, int]] = []
+
+    def weakest_weight(self) -> float:
+        if len(self.heap) < self.capacity:
+            return -np.inf
+        return self.heap[0][0]
+
+    def push(self, weight: float, partner: int) -> Optional[int]:
+        """Insert a suitor; return the displaced partner (or None)."""
+        if len(self.heap) < self.capacity:
+            heapq.heappush(self.heap, (weight, partner))
+            return None
+        displaced_weight, displaced = heapq.heappushpop(self.heap, (weight, partner))
+        if displaced == partner:
+            return None
+        return displaced
+
+    def partners(self) -> List[int]:
+        return [partner for _, partner in self.heap]
+
+
+def bsuitor_bmatching(
+    weights: np.ndarray,
+    b_left: int = 1,
+    b_right: int = 1,
+    min_weight: float = 0.0,
+) -> List[Tuple[int, int]]:
+    """Run b-Suitor on a dense bipartite weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        ``(L, R)`` matrix; entry ``(i, j)`` is the weight of edge
+        ``left_i — right_j``.  Edges with weight <= ``min_weight`` are ignored.
+    b_left, b_right:
+        Matching capacity of every left / right vertex.
+    min_weight:
+        Weight threshold below which edges are not considered.
+
+    Returns
+    -------
+    List of matched ``(left, right)`` pairs (a valid b-matching whose weight is
+    at least half the maximum).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got {weights.ndim}-D")
+    if b_left <= 0 or b_right <= 0:
+        raise ValueError("capacities must be positive")
+    n_left, n_right = weights.shape
+
+    # Vertex ids: left vertices are 0..L-1, right vertices are L..L+R-1.
+    def vid_right(j: int) -> int:
+        return n_left + j
+
+    # Sorted candidate lists (heaviest first) per left/right vertex.
+    order_left = np.argsort(-weights, axis=1)
+    order_right = np.argsort(-weights, axis=0)
+
+    pointers: Dict[int, int] = {}
+    suitors: Dict[int, _SuitorHeap] = {}
+    for i in range(n_left):
+        pointers[i] = 0
+        suitors[i] = _SuitorHeap(b_left)
+    for j in range(n_right):
+        pointers[vid_right(j)] = 0
+        suitors[vid_right(j)] = _SuitorHeap(b_right)
+
+    def neighbours(u: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (candidate partner ids, weights) sorted heaviest first."""
+        if u < n_left:
+            cols = order_left[u]
+            return np.array([vid_right(int(c)) for c in cols]), weights[u, cols]
+        j = u - n_left
+        rows = order_right[:, j]
+        return rows.astype(np.int64), weights[rows, j]
+
+    def capacity(u: int) -> int:
+        return b_left if u < n_left else b_right
+
+    # Work queue: every vertex initially needs to find `capacity` partners.
+    queue: List[Tuple[int, int]] = [(u, capacity(u)) for u in range(n_left + n_right)]
+
+    proposals: Dict[int, set] = {u: set() for u in range(n_left + n_right)}
+
+    while queue:
+        u, needed = queue.pop()
+        partners, partner_weights = neighbours(u)
+        while needed > 0:
+            ptr = pointers[u]
+            if ptr >= len(partners):
+                break
+            v = int(partners[ptr])
+            w = float(partner_weights[ptr])
+            pointers[u] = ptr + 1
+            if w <= min_weight:
+                break
+            if v in proposals[u]:
+                continue
+            # Propose to v if the edge beats v's weakest current suitor.
+            if w > suitors[v].weakest_weight():
+                displaced = suitors[v].push(w, u)
+                proposals[u].add(v)
+                needed -= 1
+                if displaced is not None:
+                    proposals[displaced].discard(v)
+                    queue.append((displaced, 1))
+
+    # The matching is the set of still-accepted proposals: u proposed to v
+    # (v is in u's proposal set) and u is still one of v's suitors.  Both
+    # sides' capacities are respected by construction: |proposals[u]| <= b(u)
+    # because displaced proposals are removed, and v keeps at most b(v)
+    # suitors in its heap.
+    matches: List[Tuple[int, int]] = []
+    for u in range(n_left + n_right):
+        for v in proposals[u]:
+            if u in suitors[v].partners():
+                left, right = (u, v - n_left) if u < n_left else (v, u - n_left)
+                matches.append((left, right))
+    return sorted(set(matches))
+
+
+def bsuitor_assignment(cost: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Solve an assignment problem approximately with b-Suitor.
+
+    Costs are converted to weights (``max_cost - cost + 1``) so that cheaper
+    pairs are heavier; rows left unmatched by the half-approximation (possible
+    with ties) are filled greedily with the cheapest remaining columns.
+
+    Returns ``(assignment, total_cost)`` in the same format as
+    :func:`repro.matching.hungarian.hungarian_assignment`.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be 2-D, got {cost.ndim}-D")
+    n_rows, n_cols = cost.shape
+    if n_rows > n_cols:
+        raise ValueError(
+            f"cost must have at least as many columns as rows, got {cost.shape}"
+        )
+    weights = cost.max() - cost + 1.0
+    pairs = bsuitor_bmatching(weights, b_left=1, b_right=1)
+    assignment = -np.ones(n_rows, dtype=np.int64)
+    used_cols = set()
+    for left, right in pairs:
+        if assignment[left] < 0 and right not in used_cols:
+            assignment[left] = right
+            used_cols.add(right)
+    # Fill any unmatched rows greedily.
+    for row in np.flatnonzero(assignment < 0):
+        remaining = [c for c in range(n_cols) if c not in used_cols]
+        best = min(remaining, key=lambda c: cost[row, c])
+        assignment[row] = best
+        used_cols.add(best)
+    total = float(cost[np.arange(n_rows), assignment].sum())
+    return assignment, total

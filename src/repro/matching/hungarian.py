@@ -1,0 +1,94 @@
+"""Exact assignment via the Hungarian (Kuhn–Munkres) algorithm.
+
+A from-scratch implementation using the dual-potentials / shortest augmenting
+path formulation (Jonker–Volgenant style) with numpy-vectorised inner loops,
+giving O(n² ) numpy work per augmented row (O(n³) scalar work overall).
+Rectangular matrices with more columns than rows are handled directly; the
+returned assignment maps every row to a distinct column and has provably
+minimal total cost.  The test-suite cross-checks the result against
+``scipy.optimize.linear_sum_assignment`` on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def hungarian_assignment(cost: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Solve the rectangular assignment problem exactly.
+
+    Parameters
+    ----------
+    cost:
+        ``(n_rows, n_cols)`` cost matrix with ``n_rows <= n_cols``; entries
+        must be finite.
+
+    Returns
+    -------
+    assignment:
+        ``assignment[i]`` is the column assigned to row ``i``.
+    total_cost:
+        Minimal total cost.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be 2-D, got {cost.ndim}-D")
+    n_rows, n_cols = cost.shape
+    if n_rows > n_cols:
+        raise ValueError(
+            f"cost must have at least as many columns as rows, got {cost.shape}"
+        )
+    if not np.all(np.isfinite(cost)):
+        raise ValueError("cost matrix must contain only finite values")
+
+    INF = np.inf
+    # Dual potentials; column 0 is a virtual column simplifying the algorithm.
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    p = np.zeros(n_cols + 1, dtype=np.int64)  # p[j] = row assigned to column j (1-based)
+
+    for i in range(1, n_rows + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n_cols + 1, INF)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        way = np.zeros(n_cols + 1, dtype=np.int64)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            free = ~used
+            free[0] = False
+            cols = np.flatnonzero(free)
+            # Reduced costs from the newly used column's row to all free columns.
+            cur = cost[i0 - 1, cols - 1] - u[i0] - v[cols]
+            better = cur < minv[cols]
+            minv[cols] = np.where(better, cur, minv[cols])
+            way[cols[better]] = j0
+            # Pick the free column with the smallest tentative cost.
+            best_idx = int(np.argmin(minv[cols]))
+            delta = minv[cols][best_idx]
+            j1 = int(cols[best_idx])
+            # Update potentials.
+            used_idx = np.flatnonzero(used)
+            u[p[used_idx]] += delta
+            v[used_idx] -= delta
+            minv[~used] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment along the alternating path.
+        while True:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+            if j0 == 0:
+                break
+
+    assignment = -np.ones(n_rows, dtype=np.int64)
+    for j in range(1, n_cols + 1):
+        if p[j] > 0:
+            assignment[p[j] - 1] = j - 1
+    total = float(cost[np.arange(n_rows), assignment].sum())
+    return assignment, total

@@ -1,0 +1,42 @@
+"""GNN models (GCN, GAT, GraphSAGE), losses and metrics.
+
+Every model exposes the two-phase structure the paper relies on:
+
+* **Aggregation** — neighbourhood aggregation driven by the (possibly faulty)
+  binary adjacency matrix of the current mini-batch subgraph.
+* **Combination** — dense matrix products with the learnable weight matrices.
+
+The training pipeline injects hardware effects through two hooks: the batch's
+adjacency is replaced by the faulty read-back from the crossbars before it
+reaches the model, and every combination weight passes through the model's
+``weight_transform`` (quantisation + stuck-at faults, straight-through
+gradient) before being used.
+"""
+
+from repro.nn.layers import Linear
+from repro.nn.gcn import GCN, GCNLayer
+from repro.nn.gat import GAT, GATLayer
+from repro.nn.sage import GraphSAGE, SAGELayer
+from repro.nn.base import GNNModel, BatchInputs
+from repro.nn.losses import cross_entropy, bce_with_logits
+from repro.nn.metrics import accuracy, micro_f1, evaluate_predictions
+from repro.nn.factory import build_model, MODEL_REGISTRY
+
+__all__ = [
+    "Linear",
+    "GCN",
+    "GCNLayer",
+    "GAT",
+    "GATLayer",
+    "GraphSAGE",
+    "SAGELayer",
+    "GNNModel",
+    "BatchInputs",
+    "cross_entropy",
+    "bce_with_logits",
+    "accuracy",
+    "micro_f1",
+    "evaluate_predictions",
+    "build_model",
+    "MODEL_REGISTRY",
+]

@@ -1,0 +1,104 @@
+"""Common infrastructure shared by the GNN models.
+
+:class:`GNNModel` adds the *weight transform* hook to
+:class:`~repro.tensor.module.Module`: when the training pipeline maps weights
+onto faulty crossbars, it installs a callable that maps ``(parameter name,
+parameter values) -> effective values``.  Layers call
+:meth:`GNNModel.effective_weight` so the forward pass uses the faulty,
+quantised weights while gradients still flow to the master (floating point)
+copy — the straight-through estimator that on-device ReRAM training implements
+physically (weights are updated digitally and re-programmed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix
+from repro.tensor.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+#: Maps (parameter name, parameter values) to the values the hardware
+#: actually applies during the MVM (after quantisation and faults).
+WeightTransform = Callable[[str, np.ndarray], np.ndarray]
+
+
+@dataclass
+class BatchInputs:
+    """Inputs of one mini-batch forward pass.
+
+    Attributes
+    ----------
+    features:
+        ``(num_nodes, num_features)`` node features of the subgraph.
+    adjacency:
+        Binary structural adjacency of the subgraph *as read back from the
+        crossbars* (i.e. already including any stuck-at-fault corruption).
+    """
+
+    features: np.ndarray
+    adjacency: CSRMatrix
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+
+class GNNModel(Module):
+    """Base class adding hardware weight-transform support to a module."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._weight_transform: Optional[WeightTransform] = None
+
+    # ------------------------------------------------------------------ #
+    # Hardware hook
+    # ------------------------------------------------------------------ #
+    def set_weight_transform(self, transform: Optional[WeightTransform]) -> None:
+        """Install (or clear, with ``None``) the hardware weight transform."""
+        self._weight_transform = transform
+        for child in self._modules.values():
+            if isinstance(child, GNNModel):
+                child.set_weight_transform(transform)
+
+    @property
+    def weight_transform(self) -> Optional[WeightTransform]:
+        return self._weight_transform
+
+    def effective_weight(self, name: str, param: Parameter) -> Tensor:
+        """Return the tensor actually used in the combination-phase MVM.
+
+        Without a transform this is the parameter itself.  With a transform
+        the returned tensor evaluates to ``transform(name, param.data)`` in
+        the forward pass while its gradient flows unchanged into ``param``
+        (straight-through estimator).
+        """
+        if self._weight_transform is None:
+            return param
+        effective = np.asarray(
+            self._weight_transform(name, param.data), dtype=np.float64
+        )
+        if effective.shape != param.data.shape:
+            raise ValueError(
+                f"weight transform changed the shape of {name!r}: "
+                f"{param.data.shape} -> {effective.shape}"
+            )
+        correction = Tensor(effective - param.data, requires_grad=False)
+        return param + correction
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: BatchInputs, rng=None) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def combination_weight_names(self) -> list:
+        """Names of the parameters mapped onto weight crossbars.
+
+        By convention every 2-D parameter participates in combination-phase
+        MVMs (biases stay in digital peripheral registers).
+        """
+        return [name for name, p in self.named_parameters() if p.data.ndim == 2]

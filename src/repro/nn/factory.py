@@ -1,0 +1,51 @@
+"""Model factory mapping the paper's model names to constructors."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.nn.base import GNNModel
+from repro.nn.gat import GAT
+from repro.nn.gcn import GCN
+from repro.nn.sage import GraphSAGE
+
+
+def _build_gcn(in_features, hidden, num_classes, rng, **kwargs) -> GNNModel:
+    return GCN(in_features, hidden, num_classes, rng=rng, **kwargs)
+
+
+def _build_gat(in_features, hidden, num_classes, rng, **kwargs) -> GNNModel:
+    return GAT(in_features, hidden, num_classes, rng=rng, **kwargs)
+
+
+def _build_sage(in_features, hidden, num_classes, rng, **kwargs) -> GNNModel:
+    return GraphSAGE(in_features, hidden, num_classes, rng=rng, **kwargs)
+
+
+#: Model name → builder; names match the paper (GCN, GAT, SAGE).
+MODEL_REGISTRY: Dict[str, Callable[..., GNNModel]] = {
+    "gcn": _build_gcn,
+    "gat": _build_gat,
+    "sage": _build_sage,
+}
+
+
+def build_model(
+    name: str,
+    in_features: int,
+    hidden_features: int,
+    num_classes: int,
+    rng=None,
+    **kwargs,
+) -> GNNModel:
+    """Instantiate a GNN model by its paper name (``gcn``, ``gat``, ``sage``).
+
+    Additional keyword arguments are forwarded to the model constructor
+    (``dropout``, ``num_heads``, ``num_layers``, ...).
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[key](in_features, hidden_features, num_classes, rng, **kwargs)

@@ -1,0 +1,161 @@
+"""Graph Attention Network (Veličković et al., 2018).
+
+The implementation uses dense masked attention: mini-batch subgraphs contain
+at most a few hundred nodes, so materialising the ``N × N`` attention logits
+is cheap and keeps the autograd graph simple.  The *structure* of the mask is
+the (possibly fault-corrupted) binary adjacency of the batch — a stuck-at-1
+fault therefore lets the layer attend to a non-neighbour and a stuck-at-0
+fault removes a real neighbour, exactly the failure mode Fig. 1(b) of the
+paper describes for the aggregation phase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.base import BatchInputs, GNNModel
+from repro.nn.layers import Linear
+from repro.tensor import init, ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+_NEG_INF = -1e9
+
+
+class GATLayer(GNNModel):
+    """Multi-head graph attention layer (dense masked attention)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_heads: int = 2,
+        concat_heads: bool = True,
+        negative_slope: float = 0.2,
+        name: str = "gat",
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if num_heads <= 0:
+            raise ValueError(f"num_heads must be positive, got {num_heads}")
+        if concat_heads and out_features % num_heads != 0:
+            raise ValueError(
+                f"out_features ({out_features}) must be divisible by num_heads "
+                f"({num_heads}) when concatenating"
+            )
+        self.num_heads = num_heads
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        self.head_features = (
+            out_features // num_heads if concat_heads else out_features
+        )
+        self.layer_name = name
+        rngs = spawn_rngs(rng, num_heads * 3)
+        for head in range(num_heads):
+            setattr(
+                self,
+                f"proj{head}",
+                Linear(
+                    in_features,
+                    self.head_features,
+                    bias=False,
+                    name=f"{name}.head{head}.proj",
+                    rng=rngs[3 * head],
+                ),
+            )
+            setattr(
+                self,
+                f"attn_src{head}",
+                init.glorot_uniform(
+                    (self.head_features, 1),
+                    rng=rngs[3 * head + 1],
+                    name=f"{name}.head{head}.attn_src",
+                ),
+            )
+            setattr(
+                self,
+                f"attn_dst{head}",
+                init.glorot_uniform(
+                    (self.head_features, 1),
+                    rng=rngs[3 * head + 2],
+                    name=f"{name}.head{head}.attn_dst",
+                ),
+            )
+
+    def forward(self, x: Tensor, adjacency_mask: np.ndarray) -> Tensor:
+        """Apply attention restricted to ``adjacency_mask`` (self loops included)."""
+        n = adjacency_mask.shape[0]
+        if adjacency_mask.shape != (n, n):
+            raise ValueError("adjacency_mask must be square")
+        allowed = adjacency_mask.astype(bool) | np.eye(n, dtype=bool)
+        head_outputs = []
+        for head in range(self.num_heads):
+            proj: Linear = getattr(self, f"proj{head}")
+            h = proj(x)
+            attn_src = self.effective_weight(
+                f"{self.layer_name}.head{head}.attn_src", getattr(self, f"attn_src{head}")
+            )
+            attn_dst = self.effective_weight(
+                f"{self.layer_name}.head{head}.attn_dst", getattr(self, f"attn_dst{head}")
+            )
+            src_scores = h @ attn_src  # (n, 1)
+            dst_scores = h @ attn_dst  # (n, 1)
+            logits = src_scores + dst_scores.transpose()
+            logits = ops.leaky_relu(logits, self.negative_slope)
+            logits = ops.masked_fill(logits, ~allowed, _NEG_INF)
+            attention = ops.softmax(logits, axis=1)
+            head_outputs.append(attention @ h)
+        if self.concat_heads:
+            return ops.concat(head_outputs, axis=1)
+        total = head_outputs[0]
+        for other in head_outputs[1:]:
+            total = total + other
+        return total * (1.0 / self.num_heads)
+
+
+class GAT(GNNModel):
+    """Two-layer GAT: multi-head concatenated hidden layer, averaged output."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        num_heads: int = 2,
+        dropout: float = 0.2,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {dropout}")
+        self.dropout = dropout
+        rng_a, rng_b, rng_drop = spawn_rngs(rng, 3)
+        self._dropout_rng = rng_drop
+        self.layer0 = GATLayer(
+            in_features,
+            hidden_features,
+            num_heads=num_heads,
+            concat_heads=True,
+            name="gat0",
+            rng=rng_a,
+        )
+        self.layer1 = GATLayer(
+            hidden_features,
+            num_classes,
+            num_heads=1,
+            concat_heads=False,
+            name="gat1",
+            rng=rng_b,
+        )
+
+    def forward(self, batch: BatchInputs, rng: Optional[object] = None) -> Tensor:
+        """Return per-node logits for the subgraph in ``batch``."""
+        mask = batch.adjacency.to_dense() > 0
+        rng = ensure_rng(rng) if rng is not None else self._dropout_rng
+        x = Tensor(batch.features)
+        x = self.layer0(x, mask)
+        x = ops.elu(x)
+        x = ops.dropout(x, self.dropout, training=self.training, rng=rng)
+        return self.layer1(x, mask)

@@ -1,0 +1,84 @@
+"""Training losses: masked cross-entropy and BCE-with-logits.
+
+Both losses accept an optional boolean node mask so Cluster-GCN batches can be
+trained on their training nodes only (validation/test nodes inside a batch do
+not contribute gradient).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+def _resolve_mask(mask: Optional[np.ndarray], num_rows: int) -> np.ndarray:
+    if mask is None:
+        return np.ones(num_rows, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (num_rows,):
+        raise ValueError(f"mask must have shape ({num_rows},), got {mask.shape}")
+    return mask
+
+
+def cross_entropy(
+    logits: Tensor, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tensor:
+    """Mean cross-entropy over masked rows for single-label classification.
+
+    Parameters
+    ----------
+    logits:
+        ``(num_nodes, num_classes)`` unnormalised scores.
+    labels:
+        ``(num_nodes,)`` integer class labels.
+    mask:
+        Optional boolean mask selecting the rows that contribute to the loss.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+        )
+    mask = _resolve_mask(mask, logits.shape[0])
+    selected = np.flatnonzero(mask)
+    if selected.size == 0:
+        return Tensor(0.0)
+    log_probs = ops.log_softmax(logits, axis=1)
+    picked = log_probs[selected, labels[selected]]
+    return -picked.mean()
+
+
+def bce_with_logits(
+    logits: Tensor, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tensor:
+    """Mean binary cross-entropy with logits for multi-label classification.
+
+    Parameters
+    ----------
+    logits:
+        ``(num_nodes, num_labels)`` unnormalised scores.
+    labels:
+        ``(num_nodes, num_labels)`` binary targets.
+    mask:
+        Optional boolean node mask.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    if logits.shape != labels.shape:
+        raise ValueError(
+            f"logits shape {logits.shape} must equal labels shape {labels.shape}"
+        )
+    mask = _resolve_mask(mask, logits.shape[0])
+    selected = np.flatnonzero(mask)
+    if selected.size == 0:
+        return Tensor(0.0)
+    picked_logits = logits[selected]
+    picked_labels = Tensor(labels[selected])
+    probs = ops.sigmoid(picked_logits)
+    loss = -(picked_labels * ops.log(probs) + (1.0 - picked_labels) * ops.log(1.0 - probs))
+    return loss.mean()

@@ -1,0 +1,77 @@
+"""Evaluation metrics: accuracy (single-label) and micro-F1 (multi-label).
+
+The paper reports a single "Accuracy" axis for every dataset; following the
+GNN literature convention that figure is node-classification accuracy for the
+single-label datasets and micro-averaged F1 for PPI.  The helper
+:func:`evaluate_predictions` picks the appropriate metric from the label
+shape, so experiment drivers can treat all datasets uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _resolve_mask(mask: Optional[np.ndarray], num_rows: int) -> np.ndarray:
+    if mask is None:
+        return np.ones(num_rows, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (num_rows,):
+        raise ValueError(f"mask must have shape ({num_rows},), got {mask.shape}")
+    return mask
+
+
+def accuracy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Fraction of masked nodes whose arg-max prediction equals the label."""
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    mask = _resolve_mask(mask, logits.shape[0])
+    if not mask.any():
+        return 0.0
+    predictions = logits[mask].argmax(axis=1)
+    return float((predictions == labels[mask]).mean())
+
+
+def micro_f1(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    threshold: float = 0.0,
+) -> float:
+    """Micro-averaged F1 score for multi-label predictions.
+
+    A label is predicted positive when its logit exceeds ``threshold``
+    (0 corresponds to probability 0.5 under a sigmoid).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.shape != labels.shape:
+        raise ValueError(
+            f"logits shape {logits.shape} must equal labels shape {labels.shape}"
+        )
+    mask = _resolve_mask(mask, logits.shape[0])
+    if not mask.any():
+        return 0.0
+    predictions = (logits[mask] > threshold).astype(np.int64)
+    targets = labels[mask]
+    true_positive = int(np.sum((predictions == 1) & (targets == 1)))
+    false_positive = int(np.sum((predictions == 1) & (targets == 0)))
+    false_negative = int(np.sum((predictions == 0) & (targets == 1)))
+    denominator = 2 * true_positive + false_positive + false_negative
+    if denominator == 0:
+        return 0.0
+    return float(2 * true_positive / denominator)
+
+
+def evaluate_predictions(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Dispatch to :func:`accuracy` or :func:`micro_f1` based on label shape."""
+    labels = np.asarray(labels)
+    if labels.ndim == 2:
+        return micro_f1(logits, labels, mask)
+    return accuracy(logits, labels, mask)

@@ -1,0 +1,36 @@
+"""Training pipeline: hardware mapping engine, faulty trainer, timing model.
+
+* :mod:`~repro.pipeline.mapping_engine` — maps GNN weights and per-batch
+  adjacency blocks onto crossbars and produces the faulty values the model
+  actually computes with.
+* :mod:`~repro.pipeline.trainer` — the mini-batch training loop with strategy
+  hooks, post-deployment fault injection, BIST re-scans and evaluation.
+* :mod:`~repro.pipeline.timing` — the pipelined-execution timing model used
+  for the Fig. 7 performance comparison.
+"""
+
+from repro.pipeline.mapping_engine import (
+    AdjacencyCrossbarMapper,
+    HardwareEnvironment,
+    WeightCrossbarMapper,
+)
+from repro.pipeline.trainer import FaultyTrainer, TrainingConfig, TrainingResult
+from repro.pipeline.timing import (
+    TimingBreakdown,
+    TimingInputs,
+    estimate_execution_time,
+    timing_inputs_from_spec,
+)
+
+__all__ = [
+    "AdjacencyCrossbarMapper",
+    "WeightCrossbarMapper",
+    "HardwareEnvironment",
+    "FaultyTrainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "TimingBreakdown",
+    "TimingInputs",
+    "estimate_execution_time",
+    "timing_inputs_from_spec",
+]

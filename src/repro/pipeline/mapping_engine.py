@@ -1,0 +1,384 @@
+"""Mapping GNN data structures onto (faulty) ReRAM crossbars.
+
+Two mappers mirror the two computation phases:
+
+* :class:`WeightCrossbarMapper` — combination phase.  Every 2-D model
+  parameter is quantised to 16-bit fixed point, bit-sliced into 2-bit cells
+  and tiled over a dedicated set of crossbars.  Reading the weights back
+  applies the crossbars' stuck-at faults cell-wise and reassembles the
+  (possibly exploded) floating point values.
+* :class:`AdjacencyCrossbarMapper` — aggregation phase.  The binary adjacency
+  of a mini-batch subgraph is decomposed into crossbar-sized blocks which are
+  programmed onto the crossbars chosen by the active strategy's
+  :class:`~repro.core.mapping.BatchMapping` (with the strategy's row
+  permutations); the faulty read-back is reassembled into the adjacency the
+  GNN actually aggregates with.
+
+:class:`HardwareEnvironment` bundles the accelerator state shared by both:
+the crossbar pool (with injected faults), the BIST controller, the
+fixed-point format, and the split of crossbars between weights and adjacency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mapping import BatchMapping
+from repro.graph.sparse import CSRMatrix
+from repro.hardware.config import DEFAULT_CONFIG, ReRAMConfig
+from repro.hardware.bist import BISTController
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.faults import FaultMap, FaultModel, apply_faults_to_cells
+from repro.hardware.quantization import (
+    FixedPointFormat,
+    cells_to_codes,
+    codes_to_cells,
+    dequantize,
+    quantize,
+)
+from repro.hardware.tile import CrossbarPool
+from repro.tensor.module import Module
+
+
+# --------------------------------------------------------------------------- #
+# Weight mapping
+# --------------------------------------------------------------------------- #
+@dataclass
+class WeightLayout:
+    """Physical placement of one weight matrix on the weight crossbars."""
+
+    name: str
+    shape: Tuple[int, int]
+    cell_shape: Tuple[int, int]
+    tiles: List[Tuple[Crossbar, slice, slice]] = field(default_factory=list)
+
+    @property
+    def num_crossbars(self) -> int:
+        return len(self.tiles)
+
+
+class WeightCrossbarMapper:
+    """Maps every 2-D model parameter onto a pool of weight crossbars."""
+
+    def __init__(
+        self,
+        model: Module,
+        crossbars: Sequence[Crossbar],
+        fmt: FixedPointFormat,
+        config: ReRAMConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.fmt = fmt
+        self.config = config
+        self._crossbars = list(crossbars)
+        self.layouts: Dict[str, WeightLayout] = {}
+        self.weight_write_events = 0
+        cursor = 0
+        for dotted_name, param in model.named_parameters():
+            if param.data.ndim != 2:
+                continue
+            # Layers identify their weights by the parameter's own ``name``
+            # (set at initialisation); fall back to the dotted module path
+            # for parameters created without one.
+            name = getattr(param, "name", "") or dotted_name
+            if name in self.layouts:
+                raise ValueError(f"duplicate hardware parameter name {name!r}")
+            rows, cols = param.data.shape
+            cell_cols = cols * fmt.num_cells
+            layout = WeightLayout(
+                name=name, shape=(rows, cols), cell_shape=(rows, cell_cols)
+            )
+            for row_start in range(0, rows, config.crossbar_rows):
+                row_stop = min(row_start + config.crossbar_rows, rows)
+                for col_start in range(0, cell_cols, config.crossbar_cols):
+                    col_stop = min(col_start + config.crossbar_cols, cell_cols)
+                    if cursor >= len(self._crossbars):
+                        raise ValueError(
+                            "not enough weight crossbars: parameter "
+                            f"{name!r} needs more than {len(self._crossbars)}"
+                        )
+                    layout.tiles.append(
+                        (
+                            self._crossbars[cursor],
+                            slice(row_start, row_stop),
+                            slice(col_start, col_stop),
+                        )
+                    )
+                    cursor += 1
+            self.layouts[name] = layout
+        self.crossbars_used = cursor
+        self._fault_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self.refresh_fault_masks()
+
+    # ------------------------------------------------------------------ #
+    def refresh_fault_masks(self) -> None:
+        """Re-assemble the per-parameter fault masks from the crossbar maps.
+
+        Must be called after post-deployment faults change the crossbars'
+        fault maps.
+        """
+        self._fault_cache.clear()
+        for name, layout in self.layouts.items():
+            sa0 = np.zeros(layout.cell_shape, dtype=bool)
+            sa1 = np.zeros(layout.cell_shape, dtype=bool)
+            for crossbar, row_slice, col_slice in layout.tiles:
+                local_rows = row_slice.stop - row_slice.start
+                local_cols = col_slice.stop - col_slice.start
+                sa0[row_slice, col_slice] = crossbar.fault_map.sa0[:local_rows, :local_cols]
+                sa1[row_slice, col_slice] = crossbar.fault_map.sa1[:local_rows, :local_cols]
+            self._fault_cache[name] = (sa0, sa1)
+
+    def layout(self, name: str) -> WeightLayout:
+        if name not in self.layouts:
+            raise KeyError(f"parameter {name!r} is not mapped to weight crossbars")
+        return self.layouts[name]
+
+    @property
+    def num_weight_crossbars(self) -> int:
+        """Total crossbars occupied by weights (used by the timing model)."""
+        return self.crossbars_used
+
+    # ------------------------------------------------------------------ #
+    def row_fault_severity(self, name: str) -> np.ndarray:
+        """Per-(logical row, cell column) fault severity for NR's reordering.
+
+        The severity of a faulty cell is the magnitude of the value range it
+        controls (``cell_levels ** position`` counted from the LSB cell), so
+        MSB-cell faults dominate the sum — matching the weight-explosion
+        asymmetry.
+        """
+        layout = self.layout(name)
+        sa0, sa1 = self._fault_cache[name]
+        any_fault = (sa0 | sa1).astype(np.float64)
+        num_cells = self.fmt.num_cells
+        significance = np.array(
+            [float(self.fmt.cell_levels ** (num_cells - 1 - i)) for i in range(num_cells)]
+        )
+        weights = np.tile(significance, layout.shape[1])
+        return any_fault * weights[None, :]
+
+    def row_mismatch_cost(self, name: str, values: np.ndarray) -> np.ndarray:
+        """Cell-mismatch cost of storing each logical row at each physical row.
+
+        ``cost[r, s]`` counts the cells of logical weight row ``r`` whose
+        programmed value would disagree with a stuck cell at physical row
+        ``s`` (SA0 vs a non-zero cell, SA1 vs a non-saturated cell).  This is
+        the "overlap with SAFs" objective that neuron-reordering remapping
+        minimises; it deliberately ignores the SA0/SA1 asymmetry and the cell
+        significance, matching the baseline's behaviour in the paper.
+        """
+        layout = self.layout(name)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != layout.shape:
+            raise ValueError(
+                f"values shape {values.shape} does not match layout {layout.shape}"
+            )
+        cells = codes_to_cells(quantize(values, self.fmt), self.fmt)
+        cell_matrix = cells.reshape(layout.cell_shape)
+        sa0, sa1 = self._fault_cache[name]
+        nonzero = (cell_matrix != 0).astype(np.float64)
+        unsaturated = (cell_matrix != self.fmt.cell_levels - 1).astype(np.float64)
+        return nonzero @ sa0.astype(np.float64).T + unsaturated @ sa1.astype(np.float64).T
+
+    # ------------------------------------------------------------------ #
+    def effective_weights(
+        self,
+        name: str,
+        values: np.ndarray,
+        row_permutation: Optional[np.ndarray] = None,
+        count_write: bool = True,
+    ) -> np.ndarray:
+        """Return the weights the crossbars actually provide to the MVM.
+
+        Parameters
+        ----------
+        name:
+            Parameter name (must have been registered at construction).
+        values:
+            Current master (digital) weight values.
+        row_permutation:
+            Optional storage permutation: logical row ``i`` is programmed
+            into physical row ``row_permutation[i]`` (the NR baseline's
+            remapping).  The returned matrix is already un-permuted, i.e. it
+            is the effective value of the *logical* weight matrix.
+        count_write:
+            Whether this call represents a re-programming of the weights
+            (True during training, False for read-only analyses).
+        """
+        layout = self.layout(name)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != layout.shape:
+            raise ValueError(
+                f"values shape {values.shape} does not match layout {layout.shape}"
+            )
+        rows = layout.shape[0]
+        if row_permutation is None:
+            permutation = np.arange(rows, dtype=np.int64)
+        else:
+            permutation = np.asarray(row_permutation, dtype=np.int64)
+            if sorted(permutation.tolist()) != list(range(rows)):
+                raise ValueError("row_permutation must be a permutation of the rows")
+
+        stored = np.empty_like(values)
+        stored[permutation] = values
+
+        codes = quantize(stored, self.fmt)
+        cells = codes_to_cells(codes, self.fmt)  # (rows, cols, num_cells)
+        cell_matrix = cells.reshape(layout.cell_shape)
+        sa0, sa1 = self._fault_cache[name]
+        faulty_matrix = apply_faults_to_cells(cell_matrix, sa0, sa1, self.fmt.cell_levels)
+        faulty_cells = faulty_matrix.reshape(cells.shape)
+        faulty_codes = cells_to_codes(faulty_cells, self.fmt)
+        faulty_stored = dequantize(faulty_codes, self.fmt)
+
+        if count_write:
+            self.weight_write_events += layout.num_crossbars
+        return faulty_stored[permutation]
+
+
+# --------------------------------------------------------------------------- #
+# Adjacency mapping
+# --------------------------------------------------------------------------- #
+class AdjacencyCrossbarMapper:
+    """Programs per-batch adjacency blocks onto crossbars and reads them back."""
+
+    def __init__(
+        self, crossbars: Sequence[Crossbar], config: ReRAMConfig = DEFAULT_CONFIG
+    ) -> None:
+        if not crossbars:
+            raise ValueError("adjacency mapper needs at least one crossbar")
+        self.config = config
+        self.crossbars = list(crossbars)
+        self.by_id: Dict[int, Crossbar] = {x.crossbar_id: x for x in self.crossbars}
+        self.block_write_events = 0
+
+    @property
+    def crossbar_ids(self) -> List[int]:
+        return [x.crossbar_id for x in self.crossbars]
+
+    def fault_maps(self) -> List[FaultMap]:
+        return [x.fault_map for x in self.crossbars]
+
+    def fault_maps_by_id(self) -> Dict[int, FaultMap]:
+        return {x.crossbar_id: x.fault_map for x in self.crossbars}
+
+    # ------------------------------------------------------------------ #
+    def decompose(self, adjacency: CSRMatrix) -> Tuple[List[np.ndarray], Tuple[int, int]]:
+        """Split a (binary) adjacency into crossbar-sized dense blocks.
+
+        Blocks on the right/bottom edge are zero-padded to the crossbar shape.
+        Returns ``(blocks, (row_blocks, col_blocks))`` in row-major order.
+        """
+        rows = self.config.crossbar_rows
+        cols = self.config.crossbar_cols
+        n, m = adjacency.shape
+        row_blocks = max(1, -(-n // rows))
+        col_blocks = max(1, -(-m // cols))
+        blocks: List[np.ndarray] = []
+        for bi in range(row_blocks):
+            for bj in range(col_blocks):
+                r0, r1 = bi * rows, min((bi + 1) * rows, n)
+                c0, c1 = bj * cols, min((bj + 1) * cols, m)
+                block = np.zeros((rows, cols), dtype=np.float64)
+                block[: r1 - r0, : c1 - c0] = adjacency.extract_block(r0, r1, c0, c1)
+                blocks.append((block > 0).astype(np.float64))
+        return blocks, (row_blocks, col_blocks)
+
+    def apply_mapping(
+        self,
+        adjacency: CSRMatrix,
+        mapping: BatchMapping,
+        blocks: Optional[List[np.ndarray]] = None,
+        grid: Optional[Tuple[int, int]] = None,
+    ) -> CSRMatrix:
+        """Program the blocks per ``mapping`` and return the faulty adjacency.
+
+        The returned matrix is the structural adjacency the aggregation phase
+        actually uses: SA1 cells appear as spurious edges, SA0 cells delete
+        stored edges.
+        """
+        if blocks is None or grid is None:
+            blocks, grid = self.decompose(adjacency)
+        if len(mapping) != len(blocks):
+            raise ValueError(
+                f"mapping covers {len(mapping)} blocks but the adjacency has "
+                f"{len(blocks)}"
+            )
+        rows = self.config.crossbar_rows
+        cols = self.config.crossbar_cols
+        n = adjacency.shape[0]
+        row_blocks, col_blocks = grid
+        faulty_dense = np.zeros((row_blocks * rows, col_blocks * cols), dtype=np.float64)
+        for block_mapping in mapping.blocks:
+            index = block_mapping.block_index
+            block = blocks[index]
+            crossbar = self.by_id[block_mapping.crossbar_index]
+            crossbar.program_binary(block, row_permutation=block_mapping.row_permutation)
+            self.block_write_events += 1
+            read_back = crossbar.read_binary(
+                row_permutation=block_mapping.row_permutation
+            )
+            bi, bj = divmod(index, col_blocks)
+            faulty_dense[bi * rows : (bi + 1) * rows, bj * cols : (bj + 1) * cols] = read_back
+        faulty_dense = faulty_dense[:n, : adjacency.shape[1]]
+        # Faults outside the logical adjacency area (padding region) are
+        # irrelevant; the truncation above drops them.
+        np.fill_diagonal(faulty_dense, 0.0)
+        return CSRMatrix.from_dense(faulty_dense)
+
+
+# --------------------------------------------------------------------------- #
+# Hardware environment
+# --------------------------------------------------------------------------- #
+class HardwareEnvironment:
+    """Accelerator state shared by one training run.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration.
+    fault_model:
+        Fault model used for pre-deployment injection (and post-deployment
+        increments).
+    weight_fraction:
+        Fraction of the pool reserved for weight storage; the remainder holds
+        adjacency blocks.
+    fmt:
+        Fixed-point format for weights (its ``max_value`` bounds the weight
+        explosion magnitude).
+    num_crossbars:
+        Override the pool size (defaults to the full accelerator).
+    """
+
+    def __init__(
+        self,
+        config: ReRAMConfig = DEFAULT_CONFIG,
+        fault_model: Optional[FaultModel] = None,
+        weight_fraction: float = 0.5,
+        fmt: Optional[FixedPointFormat] = None,
+        num_crossbars: Optional[int] = None,
+        bist_coverage: float = 1.0,
+    ) -> None:
+        if not 0.0 < weight_fraction < 1.0:
+            raise ValueError(f"weight_fraction must be in (0, 1), got {weight_fraction}")
+        self.config = config
+        self.fault_model = fault_model
+        self.fmt = fmt or FixedPointFormat(
+            total_bits=config.weight_bits,
+            max_value=4.0,
+            bits_per_cell=config.bits_per_cell,
+        )
+        self.pool = CrossbarPool(
+            config=config, fault_model=fault_model, num_crossbars=num_crossbars
+        )
+        split_point = max(1, min(len(self.pool) - 1, int(len(self.pool) * weight_fraction)))
+        self.weight_crossbars, self.adjacency_crossbars = self.pool.split(split_point)
+        self.bist = BISTController(config=config, coverage=bist_coverage)
+
+    def overall_fault_density(self) -> float:
+        return self.pool.overall_density()
+
+    def inject_post_deployment(self, extra_density: float) -> None:
+        self.pool.inject_post_deployment(extra_density)

@@ -1,0 +1,349 @@
+"""Mini-batch GNN training on (faulty) ReRAM hardware.
+
+:class:`FaultyTrainer` reproduces the training procedure of Section III/IV:
+
+1. **Pre-processing (host)** — the graph is partitioned, mini-batches are
+   formed from cluster groups, the BIST reports the pre-deployment fault maps
+   and the active strategy plans the adjacency block → crossbar mapping.
+2. **Training (accelerator)** — for every batch the adjacency blocks are
+   programmed onto their assigned crossbars and read back (faults included),
+   weights are programmed/read through the weight mapper (faults + optional
+   clipping), the model computes forward/backward with those effective
+   values and the digital optimiser updates the master weights.
+3. **Epoch end** — optional post-deployment faults are injected, the BIST
+   re-scans, the strategy refreshes its mapping, and train/test accuracy are
+   recorded.
+
+The trainer also accumulates the counters (batches, blocks, crossbars,
+reordering events) the Fig. 7 timing model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.strategies import Strategy
+from repro.graph.graph import Graph
+from repro.graph.sampling import ClusterBatchSampler
+from repro.hardware.endurance import PostDeploymentSchedule
+from repro.nn.base import BatchInputs, GNNModel
+from repro.nn.factory import build_model
+from repro.nn.losses import bce_with_logits, cross_entropy
+from repro.nn.metrics import evaluate_predictions
+from repro.pipeline.mapping_engine import (
+    AdjacencyCrossbarMapper,
+    HardwareEnvironment,
+    WeightCrossbarMapper,
+)
+from repro.tensor.optim import Adam, SGD
+from repro.tensor.tensor import no_grad
+from repro.utils.logging import get_logger
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+logger = get_logger("pipeline.trainer")
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters of one training run (Table II defaults, scaled)."""
+
+    epochs: int = 20
+    learning_rate: float = 0.01
+    hidden_features: int = 32
+    dropout: float = 0.2
+    optimizer: str = "adam"
+    num_parts: int = 12
+    batch_clusters: int = 4
+    eval_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_clusters > self.num_parts:
+            raise ValueError("batch_clusters cannot exceed num_parts")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"optimizer must be 'adam' or 'sgd', got {self.optimizer}")
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run."""
+
+    strategy: str
+    dataset: str
+    model: str
+    epochs_run: int
+    train_accuracy_history: List[float] = field(default_factory=list)
+    test_accuracy_history: List[float] = field(default_factory=list)
+    loss_history: List[float] = field(default_factory=list)
+    final_train_accuracy: float = 0.0
+    final_test_accuracy: float = 0.0
+    fault_density: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def summary_row(self) -> List:
+        """Row used by the experiment tables."""
+        return [
+            self.dataset,
+            self.model,
+            self.strategy,
+            self.fault_density,
+            self.final_test_accuracy,
+        ]
+
+
+class FaultyTrainer:
+    """Trains one GNN on one graph under one fault-handling strategy."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model_name: str,
+        strategy: Strategy,
+        config: TrainingConfig,
+        hardware: Optional[HardwareEnvironment] = None,
+        post_deployment: Optional[PostDeploymentSchedule] = None,
+    ) -> None:
+        self.graph = graph
+        self.model_name = model_name.lower()
+        self.strategy = strategy
+        self.config = config
+        self.hardware = hardware
+        self.post_deployment = post_deployment
+        if strategy.requires_hardware and hardware is None:
+            raise ValueError(
+                f"strategy {strategy.name!r} requires a HardwareEnvironment"
+            )
+
+        rng_model, rng_sampler, self._train_rng = spawn_rngs(config.seed, 3)
+
+        self.sampler = ClusterBatchSampler(
+            graph,
+            num_parts=config.num_parts,
+            batch_clusters=config.batch_clusters,
+            seed=rng_sampler,
+        )
+        # Batch composition is fixed across epochs: the adjacency mapping is
+        # computed once in pre-processing (Section IV-A).
+        self.batches = list(self.sampler.epoch(shuffle=False))
+
+        self.model: GNNModel = build_model(
+            self.model_name,
+            in_features=graph.num_features,
+            hidden_features=config.hidden_features,
+            num_classes=graph.num_classes,
+            dropout=config.dropout,
+            rng=rng_model,
+        )
+        if config.optimizer == "adam":
+            self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        else:
+            self.optimizer = SGD(self.model.parameters(), lr=config.learning_rate, momentum=0.9)
+
+        self._weight_mapper: Optional[WeightCrossbarMapper] = None
+        self._adjacency_mapper: Optional[AdjacencyCrossbarMapper] = None
+        self._plans = None
+        self._blocks_per_batch = None
+        self._grids = None
+        self._preprocess()
+
+    # ------------------------------------------------------------------ #
+    # Pre-processing phase
+    # ------------------------------------------------------------------ #
+    def _preprocess(self) -> None:
+        if not self.strategy.requires_hardware:
+            return
+        hw = self.hardware
+        self._weight_mapper = WeightCrossbarMapper(
+            self.model, hw.weight_crossbars, hw.fmt, hw.config
+        )
+        self._adjacency_mapper = AdjacencyCrossbarMapper(
+            hw.adjacency_crossbars, hw.config
+        )
+        self._blocks_per_batch = []
+        self._grids = []
+        for batch in self.batches:
+            blocks, grid = self._adjacency_mapper.decompose(batch.subgraph.adjacency)
+            self._blocks_per_batch.append(blocks)
+            self._grids.append(grid)
+        report = hw.bist.scan(self._adjacency_mapper.crossbars)
+        self._plans = self.strategy.plan_adjacency(
+            self._blocks_per_batch,
+            report.fault_maps,
+            self._adjacency_mapper.crossbar_ids,
+            hw.config.crossbar_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hardware views
+    # ------------------------------------------------------------------ #
+    def _weight_transform(self, name: str, values: np.ndarray) -> np.ndarray:
+        layout_names = self._weight_mapper.layouts
+        if name not in layout_names:
+            return values
+        permutation = self.strategy.weight_storage_permutation(
+            name,
+            values,
+            lambda: self._weight_mapper.row_mismatch_cost(name, values),
+        )
+        effective = self._weight_mapper.effective_weights(
+            name, values, row_permutation=permutation
+        )
+        return self.strategy.transform_effective_weights(name, effective)
+
+    def _batch_inputs(self, batch_index: int) -> BatchInputs:
+        batch = self.batches[batch_index]
+        adjacency = batch.subgraph.adjacency
+        if self.strategy.requires_hardware:
+            adjacency = self._adjacency_mapper.apply_mapping(
+                adjacency,
+                self._plans[batch_index],
+                blocks=self._blocks_per_batch[batch_index],
+                grid=self._grids[batch_index],
+            )
+        return BatchInputs(features=batch.subgraph.features, adjacency=adjacency)
+
+    def _loss(self, logits, labels, mask):
+        if self.graph.is_multilabel:
+            return bce_with_logits(logits, labels, mask)
+        return cross_entropy(logits, labels, mask)
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train(self) -> TrainingResult:
+        """Run the full training loop and return the result record."""
+        config = self.config
+        result = TrainingResult(
+            strategy=self.strategy.name,
+            dataset=self.graph.name,
+            model=self.model_name,
+            epochs_run=0,
+            fault_density=(
+                self.hardware.overall_fault_density() if self.hardware else 0.0
+            ),
+        )
+        if self.strategy.requires_hardware:
+            self.model.set_weight_transform(self._weight_transform)
+        else:
+            self.model.set_weight_transform(None)
+
+        for epoch in range(config.epochs):
+            self.model.train()
+            epoch_losses: List[float] = []
+            order = self._train_rng.permutation(len(self.batches))
+            for batch_index in order:
+                batch = self.batches[batch_index]
+                inputs = self._batch_inputs(int(batch_index))
+                logits = self.model(inputs)
+                loss = self._loss(
+                    logits, batch.subgraph.labels, batch.subgraph.train_mask
+                )
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                self.strategy.after_optimizer_step(self.model)
+                epoch_losses.append(loss.item())
+
+            self._end_of_epoch(epoch)
+            result.loss_history.append(float(np.mean(epoch_losses)))
+            if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+                train_acc = self.evaluate(split="train")
+                test_acc = self.evaluate(split="test")
+            else:
+                train_acc = result.train_accuracy_history[-1] if result.train_accuracy_history else 0.0
+                test_acc = result.test_accuracy_history[-1] if result.test_accuracy_history else 0.0
+            result.train_accuracy_history.append(train_acc)
+            result.test_accuracy_history.append(test_acc)
+            result.epochs_run = epoch + 1
+
+        result.final_train_accuracy = result.train_accuracy_history[-1]
+        result.final_test_accuracy = result.test_accuracy_history[-1]
+        result.counters = self._counters()
+        return result
+
+    def _end_of_epoch(self, epoch: int) -> None:
+        """Post-deployment fault injection, BIST re-scan, mapping refresh."""
+        self.strategy.on_epoch_end()
+        if not self.strategy.requires_hardware:
+            return
+        if self.post_deployment is None:
+            return
+        self.hardware.inject_post_deployment(self.post_deployment.per_epoch_density)
+        report = self.hardware.bist.scan(self._adjacency_mapper.crossbars)
+        self._weight_mapper.refresh_fault_masks()
+        fault_maps_by_id = dict(
+            zip(self._adjacency_mapper.crossbar_ids, report.fault_maps)
+        )
+        self._plans = self.strategy.refresh_adjacency(
+            self._plans, self._blocks_per_batch, fault_maps_by_id
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, split: str = "test") -> float:
+        """Evaluate the current model on ``split`` nodes (on faulty hardware).
+
+        Inference runs batch-by-batch on the same crossbar mapping used for
+        training, so test accuracy reflects the deployed, faulty accelerator.
+        """
+        if split not in ("train", "val", "test"):
+            raise ValueError(f"split must be train/val/test, got {split!r}")
+        mask_name = f"{split}_mask"
+        self.model.eval()
+        logits_chunks: List[np.ndarray] = []
+        labels_chunks: List[np.ndarray] = []
+        with no_grad():
+            for batch_index, batch in enumerate(self.batches):
+                mask = getattr(batch.subgraph, mask_name)
+                if not mask.any():
+                    continue
+                inputs = self._batch_inputs(batch_index)
+                logits = self.model(inputs)
+                logits_chunks.append(logits.data[mask])
+                labels_chunks.append(batch.subgraph.labels[mask])
+        self.model.train()
+        if not logits_chunks:
+            return 0.0
+        logits_all = np.concatenate(logits_chunks, axis=0)
+        labels_all = np.concatenate(labels_chunks, axis=0)
+        return evaluate_predictions(logits_all, labels_all)
+
+    # ------------------------------------------------------------------ #
+    # Counters for the timing model
+    # ------------------------------------------------------------------ #
+    def _counters(self) -> Dict[str, float]:
+        counters: Dict[str, float] = {
+            "num_batches": float(len(self.batches)),
+            "epochs": float(self.config.epochs),
+            "avg_batch_nodes": float(
+                np.mean([b.num_nodes for b in self.batches]) if self.batches else 0.0
+            ),
+            "total_blocks": float(
+                sum(len(blocks) for blocks in self._blocks_per_batch)
+                if self._blocks_per_batch
+                else 0.0
+            ),
+        }
+        if self._weight_mapper is not None:
+            counters["num_weight_crossbars"] = float(
+                self._weight_mapper.num_weight_crossbars
+            )
+            counters["weight_write_events"] = float(
+                self._weight_mapper.weight_write_events
+            )
+        if self._adjacency_mapper is not None:
+            counters["num_adjacency_crossbars"] = float(
+                len(self._adjacency_mapper.crossbars)
+            )
+            counters["block_write_events"] = float(
+                self._adjacency_mapper.block_write_events
+            )
+        return counters

@@ -1,0 +1,37 @@
+"""A small, self-contained reverse-mode automatic differentiation engine.
+
+The paper trains GNNs with PyTorch; this package provides the equivalent
+substrate on top of numpy.  It exposes
+
+* :class:`~repro.tensor.tensor.Tensor` — an ndarray wrapper that records the
+  computation graph and supports ``backward()``;
+* :mod:`~repro.tensor.ops` — functional operations (dense and sparse matrix
+  products, activations, softmax, dropout, reductions);
+* :class:`~repro.tensor.module.Module` / :class:`~repro.tensor.module.Parameter`
+  — layer containers with named parameters;
+* :mod:`~repro.tensor.optim` — SGD (with momentum) and Adam optimisers;
+* :mod:`~repro.tensor.init` — Glorot/Kaiming initialisers.
+
+Only the operations actually required by GCN/GAT/GraphSAGE training are
+implemented, but each is fully differentiable and verified against numerical
+gradients in the test-suite.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor import ops
+from repro.tensor.module import Module, Parameter, Sequential
+from repro.tensor.optim import SGD, Adam, Optimizer
+from repro.tensor import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "ops",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "init",
+]

@@ -1,0 +1,51 @@
+"""Parameter initialisation schemes (Glorot/Xavier, Kaiming, constant)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.module import Parameter
+from repro.utils.rng import ensure_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 2:
+        fan = shape[0] if shape else 1
+        return fan, fan
+    return shape[0], shape[1]
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng=None, name: str = "") -> Parameter:
+    """Glorot/Xavier uniform initialisation (default for GNN weight matrices)."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return Parameter(rng.uniform(-limit, limit, size=shape), name=name)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng=None, name: str = "") -> Parameter:
+    """Glorot/Xavier normal initialisation."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return Parameter(rng.normal(0.0, std, size=shape), name=name)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng=None, name: str = "") -> Parameter:
+    """Kaiming/He uniform initialisation for ReLU networks."""
+    rng = ensure_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return Parameter(rng.uniform(-limit, limit, size=shape), name=name)
+
+
+def zeros(shape: Tuple[int, ...], name: str = "") -> Parameter:
+    """All-zero parameter (biases)."""
+    return Parameter(np.zeros(shape), name=name)
+
+
+def constant(shape: Tuple[int, ...], value: float, name: str = "") -> Parameter:
+    """Constant-valued parameter."""
+    return Parameter(np.full(shape, float(value)), name=name)

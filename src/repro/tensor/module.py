@@ -1,0 +1,146 @@
+"""Layer containers: :class:`Parameter`, :class:`Module` and :class:`Sequential`.
+
+A :class:`Module` mirrors the familiar ``torch.nn.Module`` contract at the
+scale this project needs: registration of parameters and sub-modules, named
+parameter traversal, train/eval mode, and state-dict export/import (used by
+experiments that restart training from a checkpointed fault-free model).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable (``requires_grad=True`` by default)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs for this module tree."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of the module tree as a list."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs including ``self``."""
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Modes
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        """Switch this module (and children) to training mode."""
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) to evaluation mode."""
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a name → array copy of every parameter."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            target = params[name]
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != target.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {values.shape} vs {target.data.shape}"
+                )
+            target.data = values.copy()
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply modules in order, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for idx, module in enumerate(modules):
+            name = f"layer{idx}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x, *args, **kwargs):
+        for name in self._order:
+            x = getattr(self, name)(x, *args, **kwargs)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)

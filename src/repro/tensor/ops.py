@@ -1,0 +1,302 @@
+"""Functional operations on :class:`~repro.tensor.tensor.Tensor`.
+
+These cover every operation used by the GNN layers and losses: activations,
+(log-)softmax, dropout, sparse-dense matrix products for the aggregation
+phase, masked fills for dense attention, and concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, is_grad_enabled
+from repro.utils.rng import ensure_rng
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _wrap(data: np.ndarray, parents, backward_fn, requires_grad: bool) -> Tensor:
+    out = Tensor(data, requires_grad=requires_grad, parents=parents)
+    out._backward_fn = backward_fn if is_grad_enabled() else None
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    mask = (x.data > 0).astype(np.float64)
+    out_data = x.data * mask
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * mask)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU (used by GAT attention scores)."""
+    mask = (x.data > 0).astype(np.float64)
+    scale = mask + (1.0 - mask) * negative_slope
+    out_data = x.data * scale
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * scale)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit (GAT's output non-linearity)."""
+    neg = np.minimum(x.data, 0.0)
+    pos_mask = (x.data > 0).astype(np.float64)
+    exp_neg = np.exp(neg)
+    out_data = x.data * pos_mask + alpha * (exp_neg - 1.0) * (1.0 - pos_mask)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            local = pos_mask + alpha * exp_neg * (1.0 - pos_mask)
+            x._accumulate(out.grad * local)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    out_data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
+        np.exp(np.clip(x.data, -500, 500)) / (1.0 + np.exp(np.clip(x.data, -500, 500))),
+    )
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * out_data * (1.0 - out_data))
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    out_data = np.tanh(x.data)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * (1.0 - out_data**2))
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def exp(x: Tensor) -> Tensor:
+    """Element-wise exponential."""
+    out_data = np.exp(x.data)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * out_data)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def log(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Element-wise natural logarithm with an epsilon floor."""
+    safe = np.maximum(x.data, eps)
+    out_data = np.log(safe)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad / safe)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Softmax family
+# --------------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (numerically stabilised)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            dot = (out.grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (out.grad - dot))
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (numerically stabilised)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            summed = out.grad.sum(axis=axis, keepdims=True)
+            x._accumulate(out.grad - soft * summed)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Regularisation
+# --------------------------------------------------------------------------- #
+def dropout(x: Tensor, p: float, training: bool = True, rng=None) -> Tensor:
+    """Inverted dropout with keep-probability ``1 - p``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = ensure_rng(rng)
+    mask = (rng.random(x.data.shape) >= p).astype(np.float64) / (1.0 - p)
+    out_data = x.data * mask
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * mask)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Differentiable clamp; gradient is zero outside ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    out_data = np.clip(x.data, low, high)
+    pass_mask = ((x.data >= low) & (x.data <= high)).astype(np.float64)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * pass_mask)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Sparse and structured products
+# --------------------------------------------------------------------------- #
+def spmm(adjacency, x: Tensor) -> Tensor:
+    """Sparse (constant) × dense (tensor) product: ``Y = A @ X``.
+
+    ``adjacency`` may be a :class:`repro.graph.sparse.CSRMatrix`, a scipy
+    sparse matrix, or a dense numpy array.  The adjacency is treated as a
+    constant (no gradient is computed for it), matching the paper where the
+    graph structure is data rather than a trainable parameter.
+    """
+    a_dense_t = None
+    if hasattr(adjacency, "dot") and hasattr(adjacency, "transpose"):
+        forward = adjacency.dot(x.data)
+        transposed = adjacency.transpose()
+    else:
+        dense = np.asarray(adjacency, dtype=np.float64)
+        forward = dense @ x.data
+        a_dense_t = dense.T
+        transposed = None
+
+    def _backward() -> None:
+        if not x.requires_grad:
+            return
+        if transposed is not None:
+            x._accumulate(transposed.dot(out.grad))
+        else:
+            x._accumulate(a_dense_t @ out.grad)
+
+    out = _wrap(np.asarray(forward, dtype=np.float64), (x,), _backward, x.requires_grad)
+    return out
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Return ``x`` with entries where ``mask`` is True replaced by ``value``.
+
+    Gradient does not flow through the filled positions.  Used to restrict
+    dense GAT attention logits to existing edges.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != x.data.shape:
+        raise ValueError(f"mask shape {mask.shape} does not match tensor {x.shape}")
+    out_data = np.where(mask, value, x.data)
+    keep = (~mask).astype(np.float64)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * keep)
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+    requires = any(t.requires_grad for t in tensors)
+
+    def _backward() -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+    out = _wrap(out_data, tuple(tensors), _backward, requires)
+    return out
+
+
+def scatter_add_rows(x: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_rows`` buckets given by ``index``.
+
+    ``out[i] = sum_{j : index[j] == i} x[j]``.  Used for neighbourhood
+    aggregation over edge lists (GraphSAGE mean aggregation).
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1 or index.shape[0] != x.data.shape[0]:
+        raise ValueError("index must be 1-D with one entry per row of x")
+    out_data = np.zeros((num_rows,) + x.data.shape[1:], dtype=np.float64)
+    np.add.at(out_data, index, x.data)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad[index])
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def add_bias(x: Tensor, bias: Tensor) -> Tensor:
+    """Add a 1-D bias to every row of a 2-D tensor (explicit broadcast)."""
+    return x + bias
+
+
+def mean_rows(x: Tensor) -> Tensor:
+    """Mean over rows, returning a 1-D tensor."""
+    return x.mean(axis=0)
+
+
+def where_constant(condition: np.ndarray, x: Tensor, constant: float) -> Tensor:
+    """``out = condition ? x : constant`` with gradient flowing only through x."""
+    return masked_fill(x, ~np.asarray(condition, dtype=bool), constant)

@@ -1,0 +1,21 @@
+"""Shared utilities: RNG handling, logging, table formatting and validation."""
+
+from repro.utils.rng import RngMixin, ensure_rng, spawn_rngs
+from repro.utils.logging import get_logger
+from repro.utils.tabulate import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_square_matrix,
+)
+
+__all__ = [
+    "RngMixin",
+    "ensure_rng",
+    "spawn_rngs",
+    "get_logger",
+    "format_table",
+    "check_fraction",
+    "check_positive_int",
+    "check_square_matrix",
+]

@@ -1,0 +1,77 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library (fault injection, dataset synthesis,
+weight initialisation, dropout, partitioning tie-breaks) accepts either an
+integer seed or a :class:`numpy.random.Generator`.  These helpers normalise the
+two forms and derive independent child generators so experiments are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created ``rng`` attribute.
+
+    Sub-classes call ``self._init_rng(seed)`` in ``__init__`` and then use
+    ``self.rng`` everywhere randomness is needed.
+    """
+
+    _rng: Optional[np.random.Generator] = None
+
+    def _init_rng(self, seed: SeedLike = None) -> None:
+        self._rng = ensure_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = np.random.default_rng()
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the internal generator (useful for repeated experiments)."""
+        self._rng = ensure_rng(seed)
+
+
+def permutation_matrix(perm: Iterable[int]) -> np.ndarray:
+    """Return the permutation matrix ``P`` with ``P[i, perm[i]] = 1``.
+
+    Used in tests to verify that row permutations computed by the matching
+    algorithms are valid linear operators.
+    """
+    perm = np.asarray(list(perm), dtype=np.int64)
+    n = perm.shape[0]
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ValueError("perm is not a permutation of 0..n-1")
+    mat = np.zeros((n, n), dtype=np.int8)
+    mat[np.arange(n), perm] = 1
+    return mat

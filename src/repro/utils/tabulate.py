@@ -1,0 +1,65 @@
+"""Minimal plain-text table formatting (no external dependency).
+
+The benchmark harness prints the rows/series of every paper table and figure;
+this module renders them as aligned, monospaced tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(cell: Cell, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return "Y" if cell else "N"
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_fmt: str = ".4f",
+    title: str = "",
+) -> str:
+    """Render ``headers``/``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+    float_fmt:
+        Format specifier applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        str_rows.append([_render_cell(c, float_fmt) for c in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Tests for the synthetic dataset generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASET_REGISTRY, load_dataset, synthetic_graph
+
+
+class TestSyntheticGraph:
+    def test_basic_shapes(self):
+        graph = synthetic_graph(80, 4, 16, 4, seed=0)
+        assert graph.num_nodes == 80
+        assert graph.features.shape == (80, 16)
+        assert graph.labels.shape == (80,)
+
+    def test_reproducible(self):
+        a = synthetic_graph(50, 4, 8, 4, seed=7)
+        b = synthetic_graph(50, 4, 8, 4, seed=7)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.adjacency.to_dense(), b.adjacency.to_dense())
+
+    def test_different_seeds_differ(self):
+        a = synthetic_graph(50, 4, 8, 4, seed=1)
+        b = synthetic_graph(50, 4, 8, 4, seed=2)
+        assert not np.array_equal(a.adjacency.to_dense(), b.adjacency.to_dense())
+
+    def test_masks_partition_nodes(self):
+        graph = synthetic_graph(100, 5, 8, 5, seed=0)
+        total = graph.train_mask.astype(int) + graph.val_mask.astype(int) + graph.test_mask.astype(int)
+        np.testing.assert_array_equal(total, np.ones(100))
+
+    def test_multilabel_labels(self):
+        graph = synthetic_graph(60, 4, 8, 6, multilabel=True, seed=0)
+        assert graph.labels.shape == (60, 6)
+        assert set(np.unique(graph.labels)) <= {0, 1}
+        assert graph.is_multilabel
+
+    def test_community_structure_present(self):
+        graph = synthetic_graph(200, 4, 8, 4, avg_degree=10, intra_ratio=0.95, seed=0)
+        labels = graph.labels
+        rows, cols, _ = graph.adjacency.coo()
+        same = float(np.mean(labels[rows] == labels[cols]))
+        # Intra-community edges dominate, so endpoints usually share a label.
+        assert same > 0.5
+
+    def test_average_degree_close_to_target(self):
+        graph = synthetic_graph(300, 6, 8, 6, avg_degree=12, seed=0)
+        actual = graph.num_edges / graph.num_nodes  # directed count / nodes
+        assert 6 <= actual <= 13
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(10, 2, 4, 2, train_fraction=0.8, val_fraction=0.3)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(10, 2, 4, 2, avg_degree=0)
+
+
+class TestRegistry:
+    def test_contains_paper_datasets(self):
+        assert set(DATASET_REGISTRY) == {"ppi", "reddit", "amazon2m", "ogbl"}
+
+    def test_paper_statistics_match_table2(self):
+        assert DATASET_REGISTRY["ppi"].paper_nodes == 56_944
+        assert DATASET_REGISTRY["reddit"].paper_edges == 11_606_919
+        assert DATASET_REGISTRY["amazon2m"].paper_partitions == 10_000
+        assert DATASET_REGISTRY["ogbl"].paper_batch == 16
+
+    def test_models_match_table2(self):
+        assert DATASET_REGISTRY["ppi"].models == ("gcn", "gat")
+        assert DATASET_REGISTRY["amazon2m"].models == ("gcn", "sage")
+
+    def test_only_ppi_is_multilabel(self):
+        assert DATASET_REGISTRY["ppi"].multilabel
+        assert not DATASET_REGISTRY["reddit"].multilabel
+
+    def test_size_ordering_preserved(self):
+        sizes = {name: spec.nodes_for_scale("ci") for name, spec in DATASET_REGISTRY.items()}
+        assert sizes["ppi"] < sizes["reddit"] < sizes["amazon2m"] <= sizes["ogbl"] + 100
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            DATASET_REGISTRY["ppi"].nodes_for_scale("huge")
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", ["ppi", "reddit", "amazon2m", "ogbl"])
+    def test_load_ci_scale(self, name):
+        graph = load_dataset(name, scale="ci", seed=0)
+        spec = DATASET_REGISTRY[name]
+        assert graph.num_nodes == spec.nodes_for_scale("ci")
+        assert graph.name == name
+        assert graph.is_multilabel == spec.multilabel
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("citeseer")
+
+    def test_case_insensitive(self):
+        assert load_dataset("PPI", scale="ci").name == "ppi"

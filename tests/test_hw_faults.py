@@ -1,0 +1,177 @@
+"""Tests for stuck-at-fault maps and the fault model (incl. property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.faults import (
+    FaultMap,
+    FaultModel,
+    apply_faults_to_binary,
+    apply_faults_to_cells,
+    population_counts,
+    population_density,
+)
+
+
+class TestFaultMap:
+    def test_empty(self):
+        fmap = FaultMap.empty(8, 8)
+        assert fmap.is_fault_free()
+        assert fmap.density == 0.0
+
+    def test_from_indices(self):
+        fmap = FaultMap.from_indices((4, 4), sa0_indices=[(0, 0)], sa1_indices=[(1, 1)])
+        assert fmap.num_sa0 == 1 and fmap.num_sa1 == 1
+        assert fmap.density == pytest.approx(2 / 16)
+
+    def test_conflicting_fault_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMap.from_indices((2, 2), sa0_indices=[(0, 0)], sa1_indices=[(0, 0)])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMap(np.zeros((2, 2), dtype=bool), np.zeros((3, 3), dtype=bool))
+
+    def test_copy_is_independent(self, small_fault_map):
+        clone = small_fault_map.copy()
+        clone.sa0[:] = False
+        assert small_fault_map.num_sa0 > 0
+
+    def test_permuted_rows(self, small_fault_map):
+        perm = np.random.default_rng(0).permutation(16)
+        permuted = small_fault_map.permuted_rows(perm)
+        np.testing.assert_array_equal(permuted.sa0, small_fault_map.sa0[perm])
+
+    def test_permuted_rows_invalid(self, small_fault_map):
+        with pytest.raises(ValueError):
+            small_fault_map.permuted_rows(np.zeros(16, dtype=int))
+
+    def test_merge_sa1_wins(self):
+        a = FaultMap.from_indices((2, 2), sa0_indices=[(0, 0)])
+        b = FaultMap.from_indices((2, 2), sa1_indices=[(0, 0)])
+        merged = a.merge(b)
+        assert merged.sa1[0, 0] and not merged.sa0[0, 0]
+
+
+class TestApplyFaults:
+    def test_binary_sa1_adds_edge(self):
+        block = np.zeros((3, 3))
+        fmap = FaultMap.from_indices((3, 3), sa1_indices=[(1, 2)])
+        out = apply_faults_to_binary(block, fmap)
+        assert out[1, 2] == 1.0
+
+    def test_binary_sa0_deletes_edge(self):
+        block = np.ones((3, 3))
+        fmap = FaultMap.from_indices((3, 3), sa0_indices=[(0, 1)])
+        out = apply_faults_to_binary(block, fmap)
+        assert out[0, 1] == 0.0
+
+    def test_binary_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_faults_to_binary(np.zeros((2, 2)), FaultMap.empty(3, 3))
+
+    def test_binary_input_unmodified(self):
+        block = np.ones((2, 2))
+        fmap = FaultMap.from_indices((2, 2), sa0_indices=[(0, 0)])
+        apply_faults_to_binary(block, fmap)
+        assert block[0, 0] == 1.0
+
+    def test_cells_forced_values(self):
+        cells = np.full((2, 2), 2, dtype=np.int64)
+        sa0 = np.array([[True, False], [False, False]])
+        sa1 = np.array([[False, False], [False, True]])
+        out = apply_faults_to_cells(cells, sa0, sa1, cell_levels=4)
+        assert out[0, 0] == 0 and out[1, 1] == 3 and out[0, 1] == 2
+
+    def test_cells_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_faults_to_cells(np.zeros((2, 2)), np.zeros((3, 3), bool), np.zeros((3, 3), bool), 4)
+
+
+class TestFaultModel:
+    def test_density_close_to_target(self):
+        model = FaultModel(0.05, (9, 1), seed=0)
+        maps = model.generate(50, 32, 32)
+        assert population_density(maps) == pytest.approx(0.05, rel=0.25)
+
+    def test_sa_ratio_respected(self):
+        model = FaultModel(0.1, (9, 1), seed=1)
+        maps = model.generate(60, 32, 32)
+        sa0, sa1 = population_counts(maps)
+        assert sa0 / max(sa1, 1) == pytest.approx(9.0, rel=0.4)
+
+    def test_equal_ratio(self):
+        model = FaultModel(0.1, (1, 1), seed=2)
+        maps = model.generate(60, 32, 32)
+        sa0, sa1 = population_counts(maps)
+        assert sa0 / max(sa1, 1) == pytest.approx(1.0, rel=0.3)
+
+    def test_clustering_produces_variance(self):
+        model = FaultModel(0.05, (9, 1), clustered=True, seed=3)
+        maps = model.generate(80, 32, 32)
+        counts = np.array([m.num_faults for m in maps])
+        assert counts.std() > 0
+
+    def test_unclustered_counts_constant(self):
+        model = FaultModel(0.05, (9, 1), clustered=False, seed=4)
+        maps = model.generate(10, 32, 32)
+        counts = {m.num_faults for m in maps}
+        assert len(counts) == 1
+
+    def test_zero_density(self):
+        model = FaultModel(0.0, (9, 1), seed=5)
+        maps = model.generate(5, 16, 16)
+        assert all(m.is_fault_free() for m in maps)
+
+    def test_inject_additional_monotone(self):
+        model = FaultModel(0.02, (9, 1), seed=6)
+        maps = model.generate(20, 32, 32)
+        before = sum(m.num_faults for m in maps)
+        updated = model.inject_additional(maps, 0.02)
+        after = sum(m.num_faults for m in updated)
+        assert after >= before
+        # Original maps untouched.
+        assert sum(m.num_faults for m in maps) == before
+
+    def test_inject_keeps_existing_fault_types(self):
+        model = FaultModel(0.5, (0, 1), seed=7)  # only SA1 initially
+        maps = model.generate(3, 16, 16)
+        model2 = FaultModel(0.5, (1, 0), seed=8)  # additional SA0 faults
+        updated = model2.inject_additional(maps, 0.5)
+        for old, new in zip(maps, updated):
+            # Wherever an SA1 fault existed it must still be SA1.
+            assert np.all(new.sa1[old.sa1])
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            FaultModel(1.5)
+
+    def test_repr(self):
+        assert "FaultModel" in repr(FaultModel(0.01))
+
+
+class TestFaultProperties:
+    @given(
+        st.floats(0.0, 0.2),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_maps_are_consistent(self, density, seed):
+        model = FaultModel(density, (9, 1), seed=seed)
+        maps = model.generate(4, 16, 16)
+        for fmap in maps:
+            assert not np.any(fmap.sa0 & fmap.sa1)
+            assert 0.0 <= fmap.density <= 1.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_apply_binary_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        block = (rng.random((16, 16)) > 0.7).astype(float)
+        model = FaultModel(0.1, (1, 1), seed=seed)
+        fmap = model.generate(1, 16, 16)[0]
+        once = apply_faults_to_binary(block, fmap)
+        twice = apply_faults_to_binary(once, fmap)
+        np.testing.assert_array_equal(once, twice)

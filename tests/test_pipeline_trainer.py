@@ -1,0 +1,149 @@
+"""Tests for the faulty training loop (FaultyTrainer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import build_strategy
+from repro.hardware.endurance import PostDeploymentSchedule
+from repro.hardware.faults import FaultModel
+from repro.pipeline.mapping_engine import HardwareEnvironment
+from repro.pipeline.trainer import FaultyTrainer, TrainingConfig, TrainingResult
+
+
+@pytest.fixture
+def trainer_config():
+    return TrainingConfig(
+        epochs=2,
+        learning_rate=0.02,
+        hidden_features=8,
+        dropout=0.0,
+        num_parts=4,
+        batch_clusters=2,
+        seed=0,
+    )
+
+
+def make_hardware(tiny_config, density=0.05, ratio=(9.0, 1.0), seed=0):
+    model = FaultModel(density, ratio, seed=seed) if density > 0 else None
+    return HardwareEnvironment(config=tiny_config, fault_model=model, weight_fraction=0.5)
+
+
+class TestTrainingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(num_parts=2, batch_clusters=4)
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="rmsprop")
+
+
+class TestFaultFreeTraining:
+    def test_runs_and_reports(self, tiny_graph, trainer_config):
+        trainer = FaultyTrainer(
+            tiny_graph, "gcn", build_strategy("fault_free"), trainer_config, hardware=None
+        )
+        result = trainer.train()
+        assert isinstance(result, TrainingResult)
+        assert result.epochs_run == 2
+        assert len(result.train_accuracy_history) == 2
+        assert len(result.loss_history) == 2
+        assert 0.0 <= result.final_test_accuracy <= 1.0
+        assert result.fault_density == 0.0
+
+    def test_loss_decreases(self, tiny_graph):
+        config = TrainingConfig(epochs=6, hidden_features=8, dropout=0.0, num_parts=4, batch_clusters=4, seed=0)
+        trainer = FaultyTrainer(tiny_graph, "gcn", build_strategy("fault_free"), config)
+        result = trainer.train()
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_multilabel_graph(self, tiny_multilabel_graph, trainer_config):
+        trainer = FaultyTrainer(
+            tiny_multilabel_graph, "gcn", build_strategy("fault_free"), trainer_config
+        )
+        result = trainer.train()
+        assert 0.0 <= result.final_test_accuracy <= 1.0
+
+    def test_hardware_required_for_faulty_strategy(self, tiny_graph, trainer_config):
+        with pytest.raises(ValueError):
+            FaultyTrainer(tiny_graph, "gcn", build_strategy("fare"), trainer_config, hardware=None)
+
+
+@pytest.mark.parametrize("strategy_name", ["fault_unaware", "nr", "clipping", "fare"])
+class TestFaultyTraining:
+    def test_strategy_runs(self, strategy_name, tiny_graph, trainer_config, tiny_config):
+        hardware = make_hardware(tiny_config)
+        trainer = FaultyTrainer(
+            tiny_graph,
+            "gcn",
+            build_strategy(strategy_name),
+            trainer_config,
+            hardware=hardware,
+        )
+        result = trainer.train()
+        assert result.strategy == strategy_name
+        assert result.fault_density > 0
+        assert result.counters["num_batches"] == 2
+        assert result.counters["num_weight_crossbars"] >= 1
+        assert result.counters["block_write_events"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, tiny_graph, tiny_config, trainer_config):
+        def run():
+            hardware = make_hardware(tiny_config, seed=3)
+            trainer = FaultyTrainer(
+                tiny_graph, "gcn", build_strategy("fare"), trainer_config, hardware=hardware
+            )
+            return trainer.train()
+
+        a, b = run(), run()
+        assert a.final_test_accuracy == b.final_test_accuracy
+        np.testing.assert_allclose(a.loss_history, b.loss_history)
+
+
+class TestPostDeployment:
+    def test_fault_density_grows(self, tiny_graph, tiny_config, trainer_config):
+        hardware = make_hardware(tiny_config, density=0.02)
+        before = hardware.overall_fault_density()
+        schedule = PostDeploymentSchedule(total_extra_density=0.05, num_epochs=trainer_config.epochs)
+        trainer = FaultyTrainer(
+            tiny_graph,
+            "gcn",
+            build_strategy("fare"),
+            trainer_config,
+            hardware=hardware,
+            post_deployment=schedule,
+        )
+        trainer.train()
+        assert hardware.overall_fault_density() > before
+        # BIST re-scanned at the end of every epoch plus the initial scan.
+        assert hardware.bist.scan_count == 1 + trainer_config.epochs
+
+    def test_no_post_deployment_no_rescan(self, tiny_graph, tiny_config, trainer_config):
+        hardware = make_hardware(tiny_config, density=0.02)
+        trainer = FaultyTrainer(
+            tiny_graph, "gcn", build_strategy("fare"), trainer_config, hardware=hardware
+        )
+        trainer.train()
+        assert hardware.bist.scan_count == 1
+
+
+class TestEvaluation:
+    def test_evaluate_splits(self, tiny_graph, tiny_config, trainer_config):
+        hardware = make_hardware(tiny_config)
+        trainer = FaultyTrainer(
+            tiny_graph, "gcn", build_strategy("clipping"), trainer_config, hardware=hardware
+        )
+        trainer.train()
+        for split in ("train", "val", "test"):
+            assert 0.0 <= trainer.evaluate(split) <= 1.0
+        with pytest.raises(ValueError):
+            trainer.evaluate("bogus")
+
+    def test_eval_mode_restored(self, tiny_graph, trainer_config):
+        trainer = FaultyTrainer(tiny_graph, "gcn", build_strategy("fault_free"), trainer_config)
+        trainer.evaluate("test")
+        assert trainer.model.training

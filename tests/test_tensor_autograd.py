@@ -1,0 +1,191 @@
+"""Gradient correctness tests for the autograd engine.
+
+Every differentiable operation is checked against central finite differences
+on small random inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def numerical_gradient(fn, values, eps=1e-6):
+    """Central finite-difference gradient of scalar-valued ``fn``."""
+    values = np.asarray(values, dtype=np.float64)
+    grad = np.zeros_like(values)
+    flat = values.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(values)
+        flat[i] = original - eps
+        minus = fn(values)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient with a numerical estimate."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=shape)
+
+    def scalar_fn(vals):
+        with no_grad():
+            return build_loss(Tensor(vals)).item()
+
+    tensor = Tensor(values.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    numeric = numerical_gradient(scalar_fn, values.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        check_gradient(lambda x: ((x * 3.0) + (x * x)).sum(), (4, 3))
+
+    def test_sub_div(self):
+        check_gradient(lambda x: ((x - 0.5) / 2.0).sum(), (3, 3))
+
+    def test_division_by_tensor(self):
+        check_gradient(lambda x: (Tensor(np.ones((3, 3))) / (x + 5.0)).sum(), (3, 3))
+
+    def test_power(self):
+        check_gradient(lambda x: (x**3).sum(), (4,))
+
+    def test_neg(self):
+        check_gradient(lambda x: (-x).sum(), (2, 5))
+
+    def test_broadcast_add(self):
+        bias = Tensor(np.ones((1, 3)) * 0.3)
+        check_gradient(lambda x: (x + bias).sum(), (4, 3))
+
+
+class TestMatmulGradients:
+    def test_matmul_left(self):
+        other = Tensor(np.random.default_rng(1).normal(size=(3, 2)))
+        check_gradient(lambda x: (x @ other).sum(), (4, 3))
+
+    def test_matmul_right(self):
+        other = Tensor(np.random.default_rng(2).normal(size=(5, 4)))
+        check_gradient(lambda x: (other @ x).sum(), (4, 3))
+
+    def test_matmul_both_sides(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad is not None and b.grad is not None
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 2)
+
+
+class TestActivationsAndReductions:
+    def test_relu(self):
+        check_gradient(lambda x: ops.relu(x).sum(), (5, 4))
+
+    def test_leaky_relu(self):
+        check_gradient(lambda x: ops.leaky_relu(x, 0.1).sum(), (5, 4))
+
+    def test_elu(self):
+        check_gradient(lambda x: ops.elu(x).sum(), (4, 4))
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: ops.sigmoid(x).sum(), (3, 3))
+
+    def test_tanh(self):
+        check_gradient(lambda x: ops.tanh(x).sum(), (3, 3))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: ops.log(ops.exp(x) + 1.0).sum(), (3, 3))
+
+    def test_softmax(self):
+        weights = Tensor(np.random.default_rng(4).normal(size=(4, 3)))
+        check_gradient(lambda x: (ops.softmax(x, axis=1) * weights).sum(), (4, 3))
+
+    def test_log_softmax(self):
+        weights = Tensor(np.random.default_rng(5).normal(size=(4, 3)))
+        check_gradient(lambda x: (ops.log_softmax(x, axis=1) * weights).sum(), (4, 3))
+
+    def test_mean_axis(self):
+        check_gradient(lambda x: x.mean(axis=0).sum(), (6, 3))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) * x).sum(), (4, 3))
+
+    def test_transpose_reshape(self):
+        check_gradient(lambda x: (x.T.reshape(12) * 2.0).sum(), (4, 3))
+
+    def test_getitem(self):
+        check_gradient(lambda x: x[1:3].sum(), (5, 3))
+
+    def test_clip(self):
+        check_gradient(lambda x: ops.clip(x, -0.5, 0.5).sum(), (4, 4))
+
+
+class TestStructuredOps:
+    def test_spmm_dense_adjacency(self):
+        adjacency = (np.random.default_rng(6).random((5, 5)) > 0.5).astype(float)
+        check_gradient(lambda x: ops.spmm(adjacency, x).sum(), (5, 3))
+
+    def test_spmm_csr(self):
+        from repro.graph.sparse import CSRMatrix
+
+        dense = (np.random.default_rng(7).random((6, 6)) > 0.6).astype(float)
+        csr = CSRMatrix.from_dense(dense)
+        check_gradient(lambda x: ops.spmm(csr, x).sum(), (6, 2))
+
+    def test_masked_fill(self):
+        mask = np.random.default_rng(8).random((4, 4)) > 0.5
+        check_gradient(lambda x: ops.masked_fill(x, mask, -5.0).sum(), (4, 4))
+
+    def test_concat(self):
+        other = Tensor(np.ones((4, 2)))
+        check_gradient(lambda x: ops.concat([x, other], axis=1).sum(), (4, 3))
+
+    def test_scatter_add_rows(self):
+        index = np.array([0, 1, 0, 2, 1])
+        check_gradient(lambda x: ops.scatter_add_rows(x, index, 3).sum(), (5, 3))
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_gradient_accumulates(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).sum().backward()
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full(3, 5.0))
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert out._backward_fn is None
+        assert out._parents == ()
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        np.testing.assert_array_equal(d.data, t.data)
+
+    def test_shared_subexpression(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        y = t * t
+        z = (y + y).sum()
+        z.backward()
+        np.testing.assert_allclose(t.grad, [8.0])

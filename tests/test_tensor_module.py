@@ -1,0 +1,165 @@
+"""Unit tests for Module/Parameter containers and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import init
+from repro.tensor.module import Module, Parameter, Sequential
+from repro.tensor.optim import SGD, Adam
+from repro.tensor.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.w1 = Parameter(np.ones((3, 4)), name="w1")
+        self.w2 = Parameter(np.ones((4, 2)), name="w2")
+
+    def forward(self, x):
+        return (x @ self.w1) @ self.w2
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = TwoLayer()
+        self.bias = Parameter(np.zeros(2), name="bias")
+
+    def forward(self, x):
+        return self.inner(x) + self.bias
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        names = [name for name, _ in Nested().named_parameters()]
+        assert names == ["bias", "inner.w1", "inner.w2"]
+
+    def test_parameters_count(self):
+        assert Nested().num_parameters() == 2 + 12 + 8
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert model.w1.grad is not None
+        model.zero_grad()
+        assert model.w1.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Nested()
+        model.eval()
+        assert not model.inner.training
+        model.train()
+        assert model.inner.training
+
+    def test_state_dict_roundtrip(self):
+        model = Nested()
+        state = model.state_dict()
+        model.inner.w1.data += 5.0
+        model.load_state_dict(state)
+        np.testing.assert_array_equal(model.inner.w1.data, np.ones((3, 4)))
+
+    def test_load_state_dict_rejects_missing(self):
+        model = Nested()
+        state = model.state_dict()
+        state.pop("bias")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = Nested()
+        state = model.state_dict()
+        state["bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_named_modules(self):
+        names = [name for name, _ in Nested().named_modules()]
+        assert "" in names and "inner" in names
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        class AddOne(Module):
+            def forward(self, x):
+                return x + 1.0
+
+        seq = Sequential(AddOne(), AddOne(), AddOne())
+        out = seq(Tensor(np.zeros(3)))
+        np.testing.assert_array_equal(out.data, np.full(3, 3.0))
+        assert len(seq) == 3
+        assert len(list(iter(seq))) == 3
+
+
+class TestInit:
+    def test_glorot_uniform_bounds(self):
+        param = init.glorot_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(param.data) <= limit)
+
+    def test_glorot_normal_std(self):
+        param = init.glorot_normal((200, 100), rng=0)
+        expected = np.sqrt(2.0 / 300)
+        assert param.data.std() == pytest.approx(expected, rel=0.2)
+
+    def test_kaiming_uniform_bounds(self):
+        param = init.kaiming_uniform((64, 32), rng=1)
+        assert np.all(np.abs(param.data) <= np.sqrt(6.0 / 64))
+
+    def test_zeros_and_constant(self):
+        assert np.all(init.zeros((3, 3)).data == 0.0)
+        assert np.all(init.constant((2,), 1.5).data == 1.5)
+
+    def test_requires_grad(self):
+        assert init.glorot_uniform((2, 2)).requires_grad
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_step(optimizer_cls, **kwargs):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = optimizer_cls([param], **kwargs)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (param * param).sum()
+            loss.backward()
+            optimizer.step()
+        return param.data
+
+    def test_sgd_converges(self):
+        final = self._quadratic_step(SGD, lr=0.1)
+        np.testing.assert_allclose(final, np.zeros(2), atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_step(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(final, np.zeros(2), atol=1e-3)
+
+    def test_adam_converges(self):
+        final = self._quadratic_step(Adam, lr=0.1)
+        np.testing.assert_allclose(final, np.zeros(2), atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()
+        np.testing.assert_array_equal(param.data, [1.0])
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, ensure_rng, permutation_matrix, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert not np.allclose(children[0].random(10), children[1].random(10))
+
+    def test_deterministic_given_seed(self):
+        a = [g.random() for g in spawn_rngs(7, 3)]
+        b = [g.random() for g in spawn_rngs(7, 3)]
+        assert a == b
+
+
+class TestRngMixin:
+    def test_lazy_rng(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing()
+        assert isinstance(thing.rng, np.random.Generator)
+
+    def test_init_and_reseed(self):
+        class Thing(RngMixin):
+            def __init__(self, seed):
+                self._init_rng(seed)
+
+        a = Thing(3).rng.random(4)
+        thing = Thing(99)
+        thing.reseed(3)
+        np.testing.assert_array_equal(a, thing.rng.random(4))
+
+
+class TestPermutationMatrix:
+    def test_identity(self):
+        np.testing.assert_array_equal(permutation_matrix([0, 1, 2]), np.eye(3, dtype=np.int8))
+
+    def test_permutes_rows(self):
+        mat = permutation_matrix([2, 0, 1])
+        vec = np.array([10.0, 20.0, 30.0])
+        result = mat @ vec
+        np.testing.assert_array_equal(result, [30.0, 10.0, 20.0])
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            permutation_matrix([0, 0, 1])

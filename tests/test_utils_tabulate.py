@@ -1,0 +1,36 @@
+"""Unit tests for repro.utils.tabulate."""
+
+import pytest
+
+from repro.utils.tabulate import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]], float_fmt=".2f")
+        assert "0.12" in text
+        assert "0.1234" not in text
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "Y" in text and "N" in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["x", 1], ["longer", 2]])
+        header, _, row1, row2 = text.splitlines()
+        assert header.index("v") == row1.index("1") == row2.index("2")
