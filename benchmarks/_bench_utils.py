@@ -4,13 +4,19 @@ Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable
 (``ci`` by default; set ``paper`` for the full surrogate sizes), the epoch
 count with ``REPRO_BENCH_EPOCHS`` (defaults to the scale's setting) and the
 seed with ``REPRO_BENCH_SEED``.
+
+Benchmarks that want to be tracked across PRs pass ``metrics`` (a flat
+``name → number`` mapping) to :func:`record_result`; the metrics land in
+``benchmarks/results/<name>.json`` and ``benchmarks/run_benchmarks.py``
+merges every such file into ``benchmarks/results/bench_summary.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,9 +34,21 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
-def record_result(name: str, text: str) -> None:
-    """Print a result table and persist it under ``benchmarks/results/``."""
+def record_result(
+    name: str, text: str, metrics: Optional[Dict[str, float]] = None
+) -> None:
+    """Print a result table and persist it under ``benchmarks/results/``.
+
+    ``metrics`` (optional) additionally writes ``<name>.json`` with a flat
+    machine-readable ``metric name → value`` mapping for the perf-trajectory
+    summary assembled by ``run_benchmarks.py``.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if metrics is not None:
+        payload = {key: float(value) for key, value in metrics.items()}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

@@ -1,6 +1,8 @@
 """The FARe framework (paper Section IV) and baseline fault-handling strategies.
 
 * :mod:`~repro.core.clipping` — weight clipping for the combination phase.
+* :mod:`~repro.core.cost_engine` — batched, cached computation of Algorithm
+  1's inner-loop costs (fingerprint dedupe, lazy permutations, result cache).
 * :mod:`~repro.core.mapping` — Algorithm 1: fault-aware mapping of adjacency
   blocks onto crossbars (block decomposition, SA1-weighted row-permutation
   cost, crossbar pruning, optimal block→crossbar assignment).
@@ -10,11 +12,18 @@
 """
 
 from repro.core.clipping import WeightClipper
+from repro.core.cost_engine import (
+    CostEngineStats,
+    MappingCostEngine,
+    block_fingerprint,
+)
 from repro.core.mapping import (
     BlockMapping,
     BatchMapping,
     FaultAwareMapper,
+    block_crossbar_cost,
     block_row_cost_matrix,
+    permutation_mismatch_cost,
     sequential_mapping,
 )
 from repro.core.strategies import (
@@ -29,10 +38,15 @@ from repro.core.strategies import (
 
 __all__ = [
     "WeightClipper",
+    "CostEngineStats",
+    "MappingCostEngine",
+    "block_fingerprint",
     "BlockMapping",
     "BatchMapping",
     "FaultAwareMapper",
+    "block_crossbar_cost",
     "block_row_cost_matrix",
+    "permutation_mismatch_cost",
     "sequential_mapping",
     "STRATEGY_REGISTRY",
     "Strategy",

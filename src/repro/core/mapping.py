@@ -22,49 +22,50 @@ Two refinements from the paper are implemented:
   optimisation (it is the least sensitive to faults) and assigned to the
   cheapest leftover crossbar afterwards, giving the denser blocks more
   freedom.
+
+Performance model
+-----------------
+The mapper runs once per mini-batch per epoch, so its cost dominates the
+pre-processing phase.  Two execution paths produce **identical**
+:class:`BatchMapping` outputs (enforced by ``tests/test_core_cost_engine.py``):
+
+* the *seed path* (``use_cost_engine=False``) computes every (block,
+  crossbar) pair independently: ``B·M`` Python-level calls, each with two
+  dense matmuls and a full assignment solve, materialising all ``B·M``
+  permutations even though at most ``B`` survive into the result;
+* the *engine path* (default) delegates to
+  :class:`~repro.core.cost_engine.MappingCostEngine`, which batches the cost
+  tensors, dedupes identical blocks/fault maps, skips fault-free and
+  provably-zero pairs, solves the remaining inner assignments in one
+  vectorised sweep (for the greedy row method), materialises only the ≤ ``B``
+  selected permutations, and caches every pair result by content fingerprint
+  so per-epoch refreshes on unchanged BIST maps are near-free.
+
+``benchmarks/test_bench_mapping_throughput.py`` tracks the blocks-per-second
+ratio between the two paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cost_engine import MappingCostEngine, block_row_cost_matrix
 from repro.hardware.faults import FaultMap
 from repro.matching.bipartite import solve_assignment
 from repro.matching.hungarian import hungarian_assignment
 
-
-# --------------------------------------------------------------------------- #
-# Cost computation
-# --------------------------------------------------------------------------- #
-def block_row_cost_matrix(
-    block: np.ndarray, fault_map: FaultMap, sa1_weight: float = 1.0
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Mismatch cost of mapping every block row onto every crossbar row.
-
-    Returns ``(total_cost, sa0_cost, sa1_cost)`` where each matrix has shape
-    ``(block_rows, crossbar_rows)``:
-
-    * ``sa0_cost[r, s]`` — ones of block row ``r`` that would land on SA0
-      cells of crossbar row ``s`` (deleted edges),
-    * ``sa1_cost[r, s]`` — zeros of block row ``r`` that would land on SA1
-      cells of crossbar row ``s`` (spurious edges),
-    * ``total_cost = sa0_cost + sa1_weight * sa1_cost``.
-    """
-    block = np.asarray(block, dtype=np.float64)
-    if block.shape != fault_map.shape:
-        raise ValueError(
-            f"block shape {block.shape} does not match fault map {fault_map.shape}"
-        )
-    if sa1_weight < 0:
-        raise ValueError(f"sa1_weight must be non-negative, got {sa1_weight}")
-    ones = (block > 0).astype(np.float64)
-    zeros = 1.0 - ones
-    sa0_cost = ones @ fault_map.sa0.astype(np.float64).T
-    sa1_cost = zeros @ fault_map.sa1.astype(np.float64).T
-    return sa0_cost + sa1_weight * sa1_cost, sa0_cost, sa1_cost
+__all__ = [
+    "BatchMapping",
+    "BlockMapping",
+    "FaultAwareMapper",
+    "block_crossbar_cost",
+    "block_row_cost_matrix",  # re-exported single source: core.cost_engine
+    "permutation_mismatch_cost",
+    "sequential_mapping",
+]
 
 
 def block_crossbar_cost(
@@ -89,6 +90,39 @@ def block_crossbar_cost(
     return float(cost), permutation.astype(np.int64), sa1_mismatch
 
 
+def permutation_mismatch_cost(
+    block: np.ndarray,
+    fault_map: FaultMap,
+    permutation: Optional[np.ndarray] = None,
+    sa1_weight: float = 1.0,
+) -> Tuple[float, float]:
+    """Weighted mismatch of storing ``block`` under a *given* row permutation.
+
+    ``permutation[i]`` is the crossbar row block row ``i`` is written to
+    (identity when ``None``).  Returns ``(total_cost, sa1_mismatch)`` — the
+    cost a mapping that did **not** optimise the permutation actually incurs,
+    which is what the fault-unaware baselines should report instead of NaN.
+    """
+    if fault_map.is_fault_free():
+        return 0.0, 0.0
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != fault_map.shape:
+        raise ValueError(
+            f"block shape {block.shape} does not match fault map {fault_map.shape}"
+        )
+    ones = block > 0
+    if permutation is None:
+        sa0_rows = fault_map.sa0
+        sa1_rows = fault_map.sa1
+    else:
+        permutation = np.asarray(permutation, dtype=np.int64)
+        sa0_rows = fault_map.sa0[permutation]
+        sa1_rows = fault_map.sa1[permutation]
+    sa0_mismatch = float(np.count_nonzero(ones & sa0_rows))
+    sa1_mismatch = float(np.count_nonzero(~ones & sa1_rows))
+    return sa0_mismatch + sa1_weight * sa1_mismatch, sa1_mismatch
+
+
 # --------------------------------------------------------------------------- #
 # Mapping data structures
 # --------------------------------------------------------------------------- #
@@ -110,6 +144,13 @@ class BatchMapping:
     blocks: List[BlockMapping]
     pruned_crossbars: List[int] = field(default_factory=list)
     relaxed_blocks: List[int] = field(default_factory=list)
+    #: Lazily built block index → list position lookup (``crossbar_for_block``
+    #: used to be a linear scan per call, O(B²) over a batch readback).
+    #: Positions (not objects) are cached so slot replacements in ``blocks``
+    #: are always served the current object.
+    _block_lookup: Optional[dict] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_cost(self) -> float:
@@ -119,31 +160,87 @@ class BatchMapping:
     def total_sa1_mismatch(self) -> float:
         return float(sum(b.sa1_mismatch for b in self.blocks))
 
+    def _rebuild_lookup(self) -> dict:
+        self._block_lookup = {
+            m.block_index: position for position, m in enumerate(self.blocks)
+        }
+        return self._block_lookup
+
+    def _lookup_position(self, lookup: dict, block_index: int) -> Optional[BlockMapping]:
+        position = lookup.get(block_index)
+        if position is None or position >= len(self.blocks):
+            return None
+        mapping = self.blocks[position]
+        return mapping if mapping.block_index == block_index else None
+
     def crossbar_for_block(self, block_index: int) -> BlockMapping:
-        for mapping in self.blocks:
-            if mapping.block_index == block_index:
-                return mapping
-        raise KeyError(f"no mapping recorded for block {block_index}")
+        lookup = self._block_lookup
+        if lookup is None or len(lookup) != len(self.blocks):
+            lookup = self._rebuild_lookup()
+        mapping = self._lookup_position(lookup, block_index)
+        if mapping is None:
+            # ``blocks`` was reordered or renumbered since the lookup was
+            # built — rebuild once and retry before giving up.
+            mapping = self._lookup_position(self._rebuild_lookup(), block_index)
+        if mapping is None:
+            raise KeyError(f"no mapping recorded for block {block_index}")
+        return mapping
 
     def __len__(self) -> int:
         return len(self.blocks)
 
 
-def sequential_mapping(num_blocks: int, crossbar_rows: int, num_crossbars: int) -> BatchMapping:
-    """The fault-unaware default: block ``i`` → crossbar ``i % m``, identity rows."""
+def sequential_mapping(
+    num_blocks: int,
+    crossbar_rows: int,
+    num_crossbars: int,
+    blocks: Optional[Sequence[np.ndarray]] = None,
+    fault_maps: Optional[Sequence[FaultMap]] = None,
+    sa1_weight: float = 1.0,
+) -> BatchMapping:
+    """The fault-unaware default: block ``i`` → crossbar ``i % m``, identity rows.
+
+    When ``blocks`` and ``fault_maps`` are provided, each
+    :class:`BlockMapping` carries the *true* identity-permutation mismatch
+    cost of its placement (0.0 on fault-free crossbars).  Without them the
+    cost is 0.0 — historically it was ``NaN``, which silently poisoned
+    :attr:`BatchMapping.total_cost` for every baseline run.
+    """
     if num_crossbars <= 0:
         raise ValueError("num_crossbars must be positive")
-    identity = np.arange(crossbar_rows, dtype=np.int64)
-    blocks = [
-        BlockMapping(
-            block_index=i,
-            crossbar_index=i % num_crossbars,
-            row_permutation=identity.copy(),
-            cost=float("nan"),
+    if (blocks is None) != (fault_maps is None):
+        raise ValueError(
+            "blocks and fault_maps must be supplied together (a half-specified "
+            "call would silently report cost 0.0 for a faulty placement)"
         )
-        for i in range(num_blocks)
-    ]
-    return BatchMapping(blocks=blocks)
+    if fault_maps is not None and len(fault_maps) != num_crossbars:
+        raise ValueError(
+            f"fault_maps length {len(fault_maps)} does not match "
+            f"num_crossbars {num_crossbars}"
+        )
+    if blocks is not None and len(blocks) != num_blocks:
+        raise ValueError(
+            f"blocks length {len(blocks)} does not match num_blocks {num_blocks}"
+        )
+    identity = np.arange(crossbar_rows, dtype=np.int64)
+    mappings = []
+    for i in range(num_blocks):
+        crossbar = i % num_crossbars
+        cost, sa1 = 0.0, 0.0
+        if blocks is not None and fault_maps is not None:
+            cost, sa1 = permutation_mismatch_cost(
+                blocks[i], fault_maps[crossbar], sa1_weight=sa1_weight
+            )
+        mappings.append(
+            BlockMapping(
+                block_index=i,
+                crossbar_index=crossbar,
+                row_permutation=identity.copy(),
+                cost=cost,
+                sa1_mismatch=sa1,
+            )
+        )
+    return BatchMapping(blocks=mappings)
 
 
 # --------------------------------------------------------------------------- #
@@ -168,6 +265,12 @@ class FaultAwareMapper:
         Enable the crossbar-pruning heuristic (Algorithm 1, line 12).
     relax_sparsest_block:
         Enable the sparsest-block relaxation (Algorithm 1, line 14).
+    use_cost_engine:
+        Route the inner-loop cost computation through the batched
+        :class:`~repro.core.cost_engine.MappingCostEngine` (default).  The
+        seed per-pair loop is kept (``False``) as the reference path for the
+        equivalence tests and the throughput benchmark; both paths return
+        identical mappings.
     """
 
     def __init__(
@@ -177,6 +280,7 @@ class FaultAwareMapper:
         assignment_method: str = "hungarian",
         prune_crossbars: bool = True,
         relax_sparsest_block: bool = True,
+        use_cost_engine: bool = True,
     ) -> None:
         if sa1_weight < 1.0:
             raise ValueError(
@@ -188,12 +292,26 @@ class FaultAwareMapper:
         self.assignment_method = assignment_method
         self.prune_crossbars = bool(prune_crossbars)
         self.relax_sparsest_block = bool(relax_sparsest_block)
+        self.cost_engine: Optional[MappingCostEngine] = (
+            MappingCostEngine(sa1_weight=self.sa1_weight, row_method=row_method)
+            if use_cost_engine
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     def _pairwise_costs(
         self, blocks: Sequence[np.ndarray], fault_maps: Sequence[FaultMap]
-    ) -> Tuple[np.ndarray, List[List[np.ndarray]], np.ndarray]:
-        """Compute cost(i, j), row permutations and SA1 mismatches for all pairs."""
+    ) -> Tuple[np.ndarray, np.ndarray, Callable[[int, int], np.ndarray]]:
+        """Cost(i, j) and SA1 mismatch for all pairs, plus a lazy permutation
+        provider (``provider(i, j)`` → row permutation of that pair)."""
+        if self.cost_engine is not None:
+            return self.cost_engine.pairwise_costs(blocks, fault_maps)
+        return self._pairwise_costs_reference(blocks, fault_maps)
+
+    def _pairwise_costs_reference(
+        self, blocks: Sequence[np.ndarray], fault_maps: Sequence[FaultMap]
+    ) -> Tuple[np.ndarray, np.ndarray, Callable[[int, int], np.ndarray]]:
+        """The seed per-pair loop: every permutation solved eagerly."""
         num_blocks = len(blocks)
         num_crossbars = len(fault_maps)
         costs = np.zeros((num_blocks, num_crossbars))
@@ -209,7 +327,7 @@ class FaultAwareMapper:
                 costs[i, j] = cost
                 sa1_mismatches[i, j] = sa1
                 permutations[i][j] = perm
-        return costs, permutations, sa1_mismatches
+        return costs, sa1_mismatches, lambda i, j: permutations[i][j]
 
     @staticmethod
     def _block_densities(blocks: Sequence[np.ndarray]) -> np.ndarray:
@@ -263,7 +381,9 @@ class FaultAwareMapper:
         if len(ids) != num_crossbars:
             raise ValueError("crossbar_ids length must match fault_maps length")
 
-        costs, permutations, sa1_mismatches = self._pairwise_costs(blocks, fault_maps)
+        costs, sa1_mismatches, permutation_for = self._pairwise_costs(
+            blocks, fault_maps
+        )
         densities = self._block_densities(blocks)
         block_cells = float(np.asarray(blocks[0]).size)
 
@@ -315,7 +435,7 @@ class FaultAwareMapper:
                 BlockMapping(
                     block_index=block_index,
                     crossbar_index=ids[crossbar_local],
-                    row_permutation=permutations[block_index][crossbar_local],
+                    row_permutation=permutation_for(block_index, crossbar_local),
                     cost=float(costs[block_index, crossbar_local]),
                     sa1_mismatch=float(sa1_mismatches[block_index, crossbar_local]),
                 )
@@ -332,7 +452,7 @@ class FaultAwareMapper:
                 BlockMapping(
                     block_index=block_index,
                     crossbar_index=ids[best],
-                    row_permutation=permutations[block_index][best],
+                    row_permutation=permutation_for(block_index, best),
                     cost=float(costs[block_index, best]),
                     sa1_mismatch=float(sa1_mismatches[block_index, best]),
                 )
@@ -357,15 +477,20 @@ class FaultAwareMapper:
         epoch do not justify recomputing it — and only the within-crossbar row
         permutations are recomputed against the latest BIST fault maps.  The
         matching is linear-time work per block and is overlapped with ReRAM
-        execution on the host, so it adds no pipeline time.
+        execution on the host, so it adds no pipeline time.  With the cost
+        engine enabled, refreshes against an *unchanged* fault map are cache
+        hits and do no tensor or solver work at all.
         """
         updated: List[BlockMapping] = []
         for block_mapping in mapping.blocks:
             block = blocks[block_mapping.block_index]
             fmap = fault_maps_by_id[block_mapping.crossbar_index]
-            cost, perm, sa1 = block_crossbar_cost(
-                block, fmap, self.sa1_weight, method=self.row_method
-            )
+            if self.cost_engine is not None:
+                cost, perm, sa1 = self.cost_engine.block_crossbar_cost(block, fmap)
+            else:
+                cost, perm, sa1 = block_crossbar_cost(
+                    block, fmap, self.sa1_weight, method=self.row_method
+                )
             updated.append(
                 BlockMapping(
                     block_index=block_mapping.block_index,

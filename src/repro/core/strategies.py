@@ -39,6 +39,7 @@ from repro.core.mapping import (
     BatchMapping,
     BlockMapping,
     FaultAwareMapper,
+    permutation_mismatch_cost,
     sequential_mapping,
 )
 from repro.hardware.faults import FaultMap
@@ -74,7 +75,13 @@ class Strategy:
         plans = []
         for blocks in blocks_per_batch:
             plans.append(
-                sequential_mapping(len(blocks), crossbar_rows, len(crossbar_ids))
+                sequential_mapping(
+                    len(blocks),
+                    crossbar_rows,
+                    len(crossbar_ids),
+                    blocks=blocks,
+                    fault_maps=fault_maps,
+                )
             )
             for mapping in plans[-1].blocks:
                 mapping.crossbar_index = crossbar_ids[
@@ -118,6 +125,15 @@ class Strategy:
 
     def on_epoch_end(self) -> None:
         """Hook run at the end of every training epoch."""
+
+    def mapping_engine_stats(self) -> Optional[Dict[str, float]]:
+        """Cache/work counters of the mapping cost engine, if one is in use.
+
+        Returns ``None`` for strategies that do not run Algorithm 1; the FARe
+        strategy reports its engine's counters, which the timing model and
+        the trainer surface (see :mod:`repro.pipeline.timing`).
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:
@@ -204,6 +220,11 @@ class NeuronReorderingStrategy(Strategy):
                 mapping.row_permutation = self._group_permutation(
                     blocks[mapping.block_index], fault_maps[local]
                 )
+                mapping.cost, mapping.sa1_mismatch = permutation_mismatch_cost(
+                    blocks[mapping.block_index],
+                    fault_maps[local],
+                    mapping.row_permutation,
+                )
             plans.append(plan)
         return plans
 
@@ -279,14 +300,19 @@ class NeuronReorderingStrategy(Strategy):
             updated = BatchMapping(blocks=[])
             for mapping in plan.blocks:
                 fmap = fault_maps_by_id[mapping.crossbar_index]
+                permutation = self._group_permutation(
+                    blocks[mapping.block_index], fmap
+                )
+                cost, sa1 = permutation_mismatch_cost(
+                    blocks[mapping.block_index], fmap, permutation
+                )
                 updated.blocks.append(
                     BlockMapping(
                         block_index=mapping.block_index,
                         crossbar_index=mapping.crossbar_index,
-                        row_permutation=self._group_permutation(
-                            blocks[mapping.block_index], fmap
-                        ),
-                        cost=mapping.cost,
+                        row_permutation=permutation,
+                        cost=cost,
+                        sa1_mismatch=sa1,
                     )
                 )
             refreshed.append(updated)
@@ -349,6 +375,11 @@ class FaReStrategy(Strategy):
 
     def after_optimizer_step(self, model: Module) -> None:
         self.clipper.clip_model(model)
+
+    # -- introspection --------------------------------------------------- #
+    def mapping_engine_stats(self) -> Optional[Dict[str, float]]:
+        engine = self.mapper.cost_engine
+        return engine.stats.as_dict() if engine is not None else None
 
 
 #: Registry of strategy builders keyed by the names used in the experiments.

@@ -18,6 +18,7 @@ positions within a crossbar are uniform, and the SA0:SA1 ratio is configurable
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -115,6 +116,23 @@ class FaultMap:
 
     def is_fault_free(self) -> bool:
         return self.num_faults == 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Cheap content hash identifying this fault pattern.
+
+        Two maps with equal shape and identical SA0/SA1 masks share the same
+        fingerprint, which is what the mapping cost engine keys its result
+        cache and its duplicate-crossbar detection on.  The digest is
+        recomputed on every access (hashing a crossbar-sized boolean pair is
+        micro-seconds), so mutating the masks in place never yields a stale
+        key.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.asarray(self.shape, dtype=np.int64).tobytes())
+        digest.update(np.packbits(self.sa0).tobytes())
+        digest.update(np.packbits(self.sa1).tobytes())
+        return digest.hexdigest()
 
     def copy(self) -> "FaultMap":
         return FaultMap(self.sa0.copy(), self.sa1.copy())

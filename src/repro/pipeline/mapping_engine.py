@@ -276,14 +276,21 @@ class AdjacencyCrossbarMapper:
         n, m = adjacency.shape
         row_blocks = max(1, -(-n // rows))
         col_blocks = max(1, -(-m // cols))
-        blocks: List[np.ndarray] = []
-        for bi in range(row_blocks):
-            for bj in range(col_blocks):
-                r0, r1 = bi * rows, min((bi + 1) * rows, n)
-                c0, c1 = bj * cols, min((bj + 1) * cols, m)
-                block = np.zeros((rows, cols), dtype=np.float64)
-                block[: r1 - r0, : c1 - c0] = adjacency.extract_block(r0, r1, c0, c1)
-                blocks.append((block > 0).astype(np.float64))
+        # One CSR scatter + one reshape instead of a per-block extraction
+        # loop: write the sparse entries straight into the padded block grid,
+        # then carve it into (row_blocks, col_blocks, rows, cols) views.
+        padded = np.zeros((row_blocks * rows, col_blocks * cols), dtype=np.float64)
+        entry_rows = np.repeat(np.arange(n), np.diff(adjacency.indptr))
+        padded[entry_rows, adjacency.indices] = adjacency.data
+        grid = (
+            padded.reshape(row_blocks, rows, col_blocks, cols)
+            .transpose(0, 2, 1, 3)
+        )
+        blocks: List[np.ndarray] = [
+            (grid[bi, bj] > 0).astype(np.float64)
+            for bi in range(row_blocks)
+            for bj in range(col_blocks)
+        ]
         return blocks, (row_blocks, col_blocks)
 
     def apply_mapping(

@@ -19,6 +19,12 @@ fault-tolerance strategies perturb this baseline in different ways:
 All Fig. 7 numbers are reported normalised to fault-free training, so only
 the ratios between these terms matter; the absolute constants come from
 :class:`~repro.hardware.energy.TileCostModel`.
+
+When the strategy runs Algorithm 1 through the batched
+:class:`~repro.core.cost_engine.MappingCostEngine`, the engine's cache
+hit/miss and skipped-work counters are surfaced on
+:attr:`TimingBreakdown.components` (``mapping_cache_hits`` etc.), so the
+per-run timing record also documents how much mapping work was avoided.
 """
 
 from __future__ import annotations
@@ -148,6 +154,9 @@ def estimate_execution_time(
         breakdown.preprocessing_time = cost_model.mapping_preprocess_time_s(
             int(total_blocks), inputs.num_adjacency_crossbars
         )
+        engine_stats = strategy.mapping_engine_stats()
+        if engine_stats:
+            breakdown.components.update(engine_stats)
         if inputs.track_post_deployment:
             # BIST re-scan at the end of every epoch (~0.13 % of epoch time).
             breakdown.bist_time = (

@@ -346,4 +346,7 @@ class FaultyTrainer:
             counters["block_write_events"] = float(
                 self._adjacency_mapper.block_write_events
             )
+        engine_stats = self.strategy.mapping_engine_stats()
+        if engine_stats:
+            counters.update(engine_stats)
         return counters

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.clipping import WeightClipper
 from repro.core.mapping import (
     BatchMapping,
+    BlockMapping,
     FaultAwareMapper,
     block_crossbar_cost,
     block_row_cost_matrix,
@@ -165,6 +166,41 @@ class TestSequentialMapping:
         with pytest.raises(ValueError):
             sequential_mapping(2, 8, 0)
 
+    def test_cost_defaults_to_zero_not_nan(self):
+        """NaN costs used to poison BatchMapping.total_cost for baselines."""
+        mapping = sequential_mapping(4, 8, 2)
+        assert mapping.total_cost == 0.0
+        assert not np.isnan(mapping.total_cost)
+
+    def test_reports_true_identity_mismatch_cost(self):
+        block = np.zeros((4, 4))
+        block[0, 0] = 1.0  # lands on the SA0 cell below (deleted edge)
+        fmap = FaultMap.from_indices(
+            (4, 4), sa0_indices=[(0, 0)], sa1_indices=[(1, 1)]
+        )
+        mapping = sequential_mapping(
+            1, 4, 1, blocks=[block], fault_maps=[fmap], sa1_weight=4.0
+        )
+        # One SA0 mismatch plus one weighted SA1 mismatch (block[1, 1] == 0).
+        assert mapping.blocks[0].cost == 1.0 + 4.0 * 1.0
+        assert mapping.blocks[0].sa1_mismatch == 1.0
+        assert mapping.total_cost == 5.0
+
+    def test_fault_free_costs_zero(self):
+        block = np.ones((4, 4))
+        mapping = sequential_mapping(
+            1, 4, 1, blocks=[block], fault_maps=[FaultMap.empty(4, 4)]
+        )
+        assert mapping.blocks[0].cost == 0.0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            sequential_mapping(2, 4, 1, blocks=[np.zeros((4, 4))])
+        with pytest.raises(ValueError):
+            sequential_mapping(
+                1, 4, 2, blocks=[np.zeros((4, 4))], fault_maps=[FaultMap.empty(4, 4)]
+            )
+
 
 class TestFaultAwareMapper:
     @staticmethod
@@ -279,6 +315,37 @@ class TestFaultAwareMapper:
         assert mapping.crossbar_for_block(0).block_index == 0
         with pytest.raises(KeyError):
             mapping.crossbar_for_block(99)
+
+    def test_crossbar_for_block_index_survives_mutation(self):
+        """The lazily built O(1) lookup must notice list/index mutations."""
+        mapping = sequential_mapping(3, 4, 2)
+        assert mapping.crossbar_for_block(1).block_index == 1  # builds index
+        extra = BlockMapping(
+            block_index=7,
+            crossbar_index=0,
+            row_permutation=np.arange(4, dtype=np.int64),
+            cost=0.0,
+        )
+        mapping.blocks.append(extra)
+        assert mapping.crossbar_for_block(7) is extra
+        mapping.blocks[0].block_index = 42  # in-place renumber (chunk merging)
+        assert mapping.crossbar_for_block(42).block_index == 42
+        with pytest.raises(KeyError):
+            mapping.crossbar_for_block(0)
+
+    def test_crossbar_for_block_sees_slot_replacement(self):
+        """Replacing a list slot with a same-index object must not serve the
+        removed object from the cached lookup."""
+        mapping = sequential_mapping(2, 4, 1)
+        assert mapping.crossbar_for_block(0).cost == 0.0  # builds index
+        replacement = BlockMapping(
+            block_index=0,
+            crossbar_index=0,
+            row_permutation=np.arange(4, dtype=np.int64),
+            cost=123.0,
+        )
+        mapping.blocks[0] = replacement
+        assert mapping.crossbar_for_block(0) is replacement
 
 
 class TestMappingProperties:

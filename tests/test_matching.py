@@ -13,12 +13,28 @@ from repro.matching.bipartite import (
     validate_assignment,
 )
 from repro.matching.bsuitor import bsuitor_assignment, bsuitor_bmatching
-from repro.matching.greedy import greedy_assignment
+from repro.matching.greedy import greedy_assignment, greedy_assignment_batch
 from repro.matching.hungarian import hungarian_assignment
 
 
 def random_cost(rows, cols, seed):
     return np.random.default_rng(seed).random((rows, cols)) * 10
+
+
+def reference_greedy(cost):
+    """The seed implementation: full-matrix copy + inf-masked argmin."""
+    cost = np.asarray(cost, dtype=np.float64)
+    n_rows, n_cols = cost.shape
+    work = cost.copy()
+    assignment = -np.ones(n_rows, dtype=np.int64)
+    total = 0.0
+    for _ in range(n_rows):
+        row, col = divmod(int(np.argmin(work)), n_cols)
+        total += cost[row, col]
+        assignment[row] = col
+        work[row, :] = np.inf
+        work[:, col] = np.inf
+    return assignment, float(total)
 
 
 class TestGreedy:
@@ -41,6 +57,79 @@ class TestGreedy:
     def test_rejects_non_2d(self):
         with pytest.raises(ValueError):
             greedy_assignment(np.zeros(5))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_masking_rewrite_bit_identical_to_seed(self, seed):
+        """Row/column masking must keep results bit-identical to the old
+        copy-and-inf-mask implementation, including tie-breaking."""
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 9))
+        cols = int(rng.integers(rows, 12))
+        # Heavily quantised costs force plenty of ties.
+        cost = np.floor(rng.random((rows, cols)) * 4.0)
+        assignment, total = greedy_assignment(cost)
+        ref_assignment, ref_total = reference_greedy(cost)
+        np.testing.assert_array_equal(assignment, ref_assignment)
+        assert total == ref_total
+
+    def test_all_zero_matrix_gives_identity(self):
+        assignment, total = greedy_assignment(np.zeros((5, 5)))
+        np.testing.assert_array_equal(assignment, np.arange(5))
+        assert total == 0.0
+
+
+class TestGreedyBatch:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scalar_per_problem(self, seed):
+        rng = np.random.default_rng(seed + 200)
+        stack = np.floor(rng.random((7, 6, 9)) * 3.0)
+        assignments, totals = greedy_assignment_batch(stack)
+        for p in range(stack.shape[0]):
+            ref_assignment, ref_total = greedy_assignment(stack[p])
+            np.testing.assert_array_equal(assignments[p], ref_assignment)
+            assert totals[p] == ref_total
+
+    def test_integer_costs_match_scalar(self):
+        rng = np.random.default_rng(42)
+        stack = rng.integers(0, 50, size=(4, 5, 7)).astype(np.int64)
+        assignments, totals = greedy_assignment_batch(stack)
+        for p in range(stack.shape[0]):
+            ref_assignment, ref_total = greedy_assignment(stack[p])
+            np.testing.assert_array_equal(assignments[p], ref_assignment)
+            assert totals[p] == ref_total
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_inf_costs_match_scalar(self, seed):
+        # inf marks forbidden assignments; once only inf cells remain the
+        # batch path must still commit valid (distinct) cells like the scalar.
+        rng = np.random.default_rng(seed + 900)
+        stack = np.floor(rng.random((5, 4, 5)) * 3.0)
+        stack[rng.random(stack.shape) < 0.6] = np.inf
+        assignments, totals = greedy_assignment_batch(stack)
+        for p in range(stack.shape[0]):
+            ref_assignment, ref_total = greedy_assignment(stack[p])
+            np.testing.assert_array_equal(assignments[p], ref_assignment)
+            assert totals[p] == ref_total or (
+                np.isinf(totals[p]) and np.isinf(ref_total)
+            )
+            validate_assignment(assignments[p], stack.shape[2])
+
+    def test_huge_integer_costs_do_not_overflow_int32(self):
+        # Values beyond int32 must fall back to the float64 path and still
+        # match the scalar solver instead of wrapping around.
+        stack = np.array([[[2**31, 1], [1, 2**31]]], dtype=np.int64)
+        assignments, totals = greedy_assignment_batch(stack)
+        ref_assignment, ref_total = greedy_assignment(stack[0])
+        np.testing.assert_array_equal(assignments[0], ref_assignment)
+        assert totals[0] == ref_total
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            greedy_assignment_batch(np.zeros((2, 2)))
+
+    def test_rejects_more_rows_than_cols(self):
+        with pytest.raises(ValueError):
+            greedy_assignment_batch(np.zeros((2, 3, 2)))
 
 
 class TestHungarian:

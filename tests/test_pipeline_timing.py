@@ -1,8 +1,10 @@
 """Tests for the pipelined-execution timing model (Fig. 7 machinery)."""
 
+import numpy as np
 import pytest
 
 from repro.core.strategies import build_strategy
+from repro.hardware.faults import FaultModel
 from repro.graph.datasets import DATASET_REGISTRY
 from repro.hardware.config import DEFAULT_CONFIG
 from repro.hardware.energy import TileCostModel
@@ -96,6 +98,27 @@ class TestExecutionTimeModel:
     def test_fig7_dataset_labels(self):
         labels = set(fig7_paper_datasets())
         assert labels == {"Ogbl (SAGE)", "Reddit (GCN)", "PPI (GAT)", "Amazon2M (GCN)"}
+
+    def test_fare_breakdown_exports_mapping_cache_counters(self, inputs):
+        """The cost engine's hit/miss counters surface on the breakdown."""
+        fare = build_strategy("fare")
+        rng = np.random.default_rng(0)
+        blocks = [(rng.random((8, 8)) < 0.1).astype(float) for _ in range(3)]
+        fmaps = FaultModel(0.1, (1, 1), seed=1).generate(4, 8, 8)
+        fare.plan_adjacency([blocks, blocks], fmaps, list(range(4)), 8)
+        stats = fare.mapping_engine_stats()
+        assert stats is not None and stats["mapping_pairs_total"] > 0
+        breakdown = estimate_execution_time(fare, inputs)
+        assert breakdown.components["mapping_pairs_total"] > 0
+        assert "mapping_cache_hits" in breakdown.components
+        # The second identical batch should have been answered from cache.
+        assert breakdown.components["mapping_cache_hits"] > 0
+
+    def test_non_mapping_strategies_have_no_engine_stats(self, inputs):
+        for name in ("fault_free", "fault_unaware", "clipping", "nr"):
+            assert build_strategy(name).mapping_engine_stats() is None
+            breakdown = estimate_execution_time(build_strategy(name), inputs)
+            assert "mapping_pairs_total" not in breakdown.components
 
     def test_cost_model_override(self, inputs):
         slow = TileCostModel(config=DEFAULT_CONFIG, read_cycles_per_mvm=160)
