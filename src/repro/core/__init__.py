@@ -3,6 +3,10 @@
 * :mod:`~repro.core.clipping` — weight clipping for the combination phase.
 * :mod:`~repro.core.cost_engine` — batched, cached computation of Algorithm
   1's inner-loop costs (fingerprint dedupe, lazy permutations, result cache).
+* :mod:`~repro.core.hw_state` — versioned effective-state cache: per-batch
+  faulty adjacency read-backs and effective weights are derived once per
+  state change (fault injection, plan refresh, optimiser step) instead of
+  once per batch.
 * :mod:`~repro.core.mapping` — Algorithm 1: fault-aware mapping of adjacency
   blocks onto crossbars (block decomposition, SA1-weighted row-permutation
   cost, crossbar pruning, optimal block→crossbar assignment).
@@ -17,6 +21,7 @@ from repro.core.cost_engine import (
     MappingCostEngine,
     block_fingerprint,
 )
+from repro.core.hw_state import HardwareStateCache, HwStateStats
 from repro.core.mapping import (
     BlockMapping,
     BatchMapping,
@@ -41,6 +46,8 @@ __all__ = [
     "CostEngineStats",
     "MappingCostEngine",
     "block_fingerprint",
+    "HardwareStateCache",
+    "HwStateStats",
     "BlockMapping",
     "BatchMapping",
     "FaultAwareMapper",

@@ -60,6 +60,9 @@ class Strategy:
     reorders_every_batch = False
     #: Whether the one-time Algorithm 1 preprocessing runs (timing model).
     uses_fault_aware_mapping = False
+    #: The trainer's :class:`~repro.core.hw_state.HardwareStateCache`, once
+    #: attached; its hit/miss counters surface via :meth:`mapping_engine_stats`.
+    _hw_state_cache = None
 
     # ------------------------------------------------------------------ #
     # Aggregation phase
@@ -126,14 +129,28 @@ class Strategy:
     def on_epoch_end(self) -> None:
         """Hook run at the end of every training epoch."""
 
-    def mapping_engine_stats(self) -> Optional[Dict[str, float]]:
-        """Cache/work counters of the mapping cost engine, if one is in use.
+    def attach_hw_state_cache(self, cache) -> None:
+        """Attach the trainer's hardware-state cache for stats surfacing.
 
-        Returns ``None`` for strategies that do not run Algorithm 1; the FARe
-        strategy reports its engine's counters, which the timing model and
-        the trainer surface (see :mod:`repro.pipeline.timing`).
+        The :class:`~repro.pipeline.trainer.FaultyTrainer` calls this during
+        pre-processing so the cache's hit/miss counters flow through the same
+        channel as the mapping cost engine's (:meth:`mapping_engine_stats` →
+        trainer counters → timing components).
         """
-        return None
+        self._hw_state_cache = cache
+
+    def mapping_engine_stats(self) -> Optional[Dict[str, float]]:
+        """Cache/work counters of the mapping machinery, if any is in use.
+
+        The base implementation reports the attached hardware-state cache's
+        hit/miss counters (``hw_*``); strategies that run Algorithm 1 (FARe)
+        merge in their cost engine's counters (``mapping_*``).  Returns
+        ``None`` when neither exists, e.g. for a freshly built strategy that
+        has not been handed to a trainer.  The timing model and the trainer
+        surface whatever is reported (see :mod:`repro.pipeline.timing`).
+        """
+        cache = self._hw_state_cache
+        return cache.stats.as_dict() if cache is not None else None
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:
@@ -378,8 +395,11 @@ class FaReStrategy(Strategy):
 
     # -- introspection --------------------------------------------------- #
     def mapping_engine_stats(self) -> Optional[Dict[str, float]]:
+        stats = dict(super().mapping_engine_stats() or {})
         engine = self.mapper.cost_engine
-        return engine.stats.as_dict() if engine is not None else None
+        if engine is not None:
+            stats.update(engine.stats.as_dict())
+        return stats or None
 
 
 #: Registry of strategy builders keyed by the names used in the experiments.

@@ -27,6 +27,7 @@ import numpy as np
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import (
     check_fraction,
+    check_permutation,
     check_positive_int,
     check_probability_ratio,
 )
@@ -143,9 +144,9 @@ class FaultMap:
         ``permutation[i]`` gives the crossbar row that block row ``i`` is
         written to; the returned map is expressed in *block* row order.
         """
-        permutation = np.asarray(permutation, dtype=np.int64)
-        if sorted(permutation.tolist()) != list(range(self.shape[0])):
-            raise ValueError("permutation must be a permutation of crossbar rows")
+        permutation = check_permutation(
+            permutation, self.shape[0], "crossbar row permutation"
+        )
         return FaultMap(self.sa0[permutation], self.sa1[permutation])
 
     def merge(self, other: "FaultMap") -> "FaultMap":
@@ -177,6 +178,27 @@ def apply_faults_to_binary(block: np.ndarray, fault_map: FaultMap) -> np.ndarray
     out[fault_map.sa1] = 1.0
     out[fault_map.sa0] = 0.0
     return out
+
+
+def apply_faults_to_binary_batch(
+    blocks: np.ndarray, sa0: np.ndarray, sa1: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`apply_faults_to_binary` over stacked arrays.
+
+    ``blocks`` holds 0/1 values of shape ``(..., rows, cols)``; ``sa0``/``sa1``
+    are boolean masks of the same shape (typically gathered per block with the
+    block's row permutation already applied).  One ``np.where`` chain replaces
+    the per-block program/read round trip of the seed loop.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    sa0 = np.asarray(sa0, dtype=bool)
+    sa1 = np.asarray(sa1, dtype=bool)
+    if sa0.shape != blocks.shape or sa1.shape != blocks.shape:
+        raise ValueError(
+            f"fault mask shapes {sa0.shape}/{sa1.shape} do not match blocks "
+            f"{blocks.shape}"
+        )
+    return np.where(sa1, 1.0, np.where(sa0, 0.0, blocks))
 
 
 def apply_faults_to_cells(

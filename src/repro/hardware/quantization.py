@@ -17,6 +17,7 @@ ordered most-significant cell first.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -125,6 +126,94 @@ def cells_to_codes(cells: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
         shift = fmt.bits_per_cell * (fmt.num_cells - 1 - position)
         codes = codes + (cells[..., position] << shift)
     return codes
+
+
+def _mask_dtype(fmt: FixedPointFormat):
+    """Smallest exact integer dtype for whole codes of ``fmt``."""
+    return np.int32 if fmt.total_bits <= 24 else np.int64
+
+
+def fault_code_masks(
+    sa0_cells: np.ndarray, sa1_cells: np.ndarray, fmt: FixedPointFormat
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse per-cell stuck-at masks into per-code clear/set bit masks.
+
+    ``sa0_cells``/``sa1_cells`` are boolean arrays in the *cell matrix* layout
+    — last axis of length ``cols * fmt.num_cells``, most-significant cell
+    first (the layout :class:`WeightCrossbarMapper` assembles from the
+    crossbar fault maps).  Returns ``(clear, set_)`` integer arrays with one
+    entry per *value*: a faulty read-back code is ``(code & ~clear) | set_``
+    — SA0 zeroes the cell's bit field (cleared, not set), SA1 saturates it
+    (cleared, then set).  This is the whole fault-application step of the
+    bit-sliced pipeline folded into two integers per weight.
+    """
+    sa0_cells = np.asarray(sa0_cells, dtype=bool)
+    sa1_cells = np.asarray(sa1_cells, dtype=bool)
+    if sa0_cells.shape != sa1_cells.shape:
+        raise ValueError(
+            f"sa0 and sa1 shapes differ: {sa0_cells.shape} vs {sa1_cells.shape}"
+        )
+    if sa0_cells.shape[-1] % fmt.num_cells != 0:
+        raise ValueError(
+            f"last axis ({sa0_cells.shape[-1]}) is not a multiple of "
+            f"num_cells ({fmt.num_cells})"
+        )
+    per_value = sa0_cells.shape[:-1] + (
+        sa0_cells.shape[-1] // fmt.num_cells,
+        fmt.num_cells,
+    )
+    dtype = _mask_dtype(fmt)
+    shifts = fmt.bits_per_cell * (fmt.num_cells - 1 - np.arange(fmt.num_cells))
+    cell_masks = ((fmt.cell_levels - 1) << shifts).astype(dtype)
+    any_fault = (sa0_cells | sa1_cells).reshape(per_value)
+    clear = (any_fault * cell_masks).sum(axis=-1).astype(dtype)
+    set_ = (sa1_cells.reshape(per_value) * cell_masks).sum(axis=-1).astype(dtype)
+    return clear, set_
+
+
+def apply_faults_to_codes(
+    codes: np.ndarray, clear: np.ndarray, set_: np.ndarray
+) -> np.ndarray:
+    """Apply precomputed :func:`fault_code_masks` to whole codes."""
+    return (codes & ~clear) | set_
+
+
+def quantize_faulty_dequantize(
+    values: np.ndarray,
+    clear: np.ndarray,
+    set_: np.ndarray,
+    fmt: FixedPointFormat,
+) -> np.ndarray:
+    """Fused quantise → stuck-at-fault application → dequantise.
+
+    Single-pass equivalent of::
+
+        codes  = quantize(values, fmt)
+        cells  = codes_to_cells(codes, fmt)
+        faulty = apply_faults_to_cells(cells, sa0, sa1, fmt.cell_levels)
+        out    = dequantize(cells_to_codes(faulty, fmt), fmt)
+
+    with ``clear``/``set_`` from :func:`fault_code_masks`.  The whole pipeline
+    runs on one integer array per value (int32 for formats up to 24 bits) —
+    no ``(..., num_cells)`` intermediates, no per-cell Python loop — and is
+    bit-identical to the unfused chain: rounding, saturation and the
+    per-cell fault semantics are all preserved exactly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    dtype = _mask_dtype(fmt)
+    offset = float(fmt.offset)
+    # round/clip in float64 first: integer-valued float64 is exact far beyond
+    # any supported format width, and clipping before the cast keeps the
+    # narrow dtype safe for arbitrarily large inputs (the seed path clips the
+    # already-cast int64 codes — same result, different order).
+    codes = np.clip(np.round(values / fmt.scale), -offset, offset - 1.0).astype(dtype)
+    codes += dtype(fmt.offset)
+    # asarray: no copy when the masks already carry the target dtype (they do
+    # when produced by fault_code_masks) — this runs per layer per forward.
+    faulty = apply_faults_to_codes(
+        codes, np.asarray(clear, dtype=dtype), np.asarray(set_, dtype=dtype)
+    )
+    return (faulty.astype(np.float64) - offset) * fmt.scale
 
 
 def quantize_to_cells(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.graph.normalize import normalize_adjacency
+from repro.graph.normalize import normalize_adjacency_cached
 from repro.nn.base import BatchInputs, GNNModel
 from repro.nn.layers import Linear
 from repro.tensor import ops
@@ -66,7 +66,7 @@ class GraphSAGE(GNNModel):
 
     def forward(self, batch: BatchInputs, rng: Optional[object] = None) -> Tensor:
         """Return per-node logits for the subgraph in ``batch``."""
-        adjacency_rw = normalize_adjacency(
+        adjacency_rw = normalize_adjacency_cached(
             batch.adjacency, self_loops=False, symmetric=False
         )
         rng = ensure_rng(rng) if rng is not None else self._dropout_rng

@@ -17,6 +17,12 @@ Two mappers mirror the two computation phases:
 :class:`HardwareEnvironment` bundles the accelerator state shared by both:
 the crossbar pool (with injected faults), the BIST controller, the
 fixed-point format, and the split of crossbars between weights and adjacency.
+
+Both mappers expose two bit-identical execution paths: the seed per-block /
+per-cell loops (the reference, kept behind ``use_batched=False`` /
+``fused=False``) and vectorised fast paths — a stacked fault-mask gather for
+the adjacency read-back, a fused per-code mask application for the weights —
+that the epoch cache in :mod:`repro.core.hw_state` builds on.
 """
 
 from __future__ import annotations
@@ -31,16 +37,24 @@ from repro.graph.sparse import CSRMatrix
 from repro.hardware.config import DEFAULT_CONFIG, ReRAMConfig
 from repro.hardware.bist import BISTController
 from repro.hardware.crossbar import Crossbar
-from repro.hardware.faults import FaultMap, FaultModel, apply_faults_to_cells
+from repro.hardware.faults import (
+    FaultMap,
+    FaultModel,
+    apply_faults_to_binary_batch,
+    apply_faults_to_cells,
+)
 from repro.hardware.quantization import (
     FixedPointFormat,
     cells_to_codes,
     codes_to_cells,
     dequantize,
+    fault_code_masks,
     quantize,
+    quantize_faulty_dequantize,
 )
 from repro.hardware.tile import CrossbarPool
 from repro.tensor.module import Module
+from repro.utils.validation import check_permutation
 
 
 # --------------------------------------------------------------------------- #
@@ -61,7 +75,17 @@ class WeightLayout:
 
 
 class WeightCrossbarMapper:
-    """Maps every 2-D model parameter onto a pool of weight crossbars."""
+    """Maps every 2-D model parameter onto a pool of weight crossbars.
+
+    Parameters
+    ----------
+    use_fused:
+        Route :meth:`effective_weights` through the fused
+        quantise → fault → dequantise pass (a single integer array per value,
+        no per-cell intermediates).  The seed bit-sliced pipeline is kept
+        (``False``) as the reference path; both are bit-identical (enforced
+        by ``tests/test_core_hw_state.py``).
+    """
 
     def __init__(
         self,
@@ -69,9 +93,14 @@ class WeightCrossbarMapper:
         crossbars: Sequence[Crossbar],
         fmt: FixedPointFormat,
         config: ReRAMConfig = DEFAULT_CONFIG,
+        use_fused: bool = True,
     ) -> None:
         self.fmt = fmt
         self.config = config
+        self.use_fused = bool(use_fused)
+        #: Bumped on every :meth:`refresh_fault_masks`; effective-weight
+        #: caches key on it (see :mod:`repro.core.hw_state`).
+        self.fault_version = 0
         self._crossbars = list(crossbars)
         self.layouts: Dict[str, WeightLayout] = {}
         self.weight_write_events = 0
@@ -110,6 +139,7 @@ class WeightCrossbarMapper:
             self.layouts[name] = layout
         self.crossbars_used = cursor
         self._fault_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._code_masks: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self.refresh_fault_masks()
 
     # ------------------------------------------------------------------ #
@@ -117,9 +147,11 @@ class WeightCrossbarMapper:
         """Re-assemble the per-parameter fault masks from the crossbar maps.
 
         Must be called after post-deployment faults change the crossbars'
-        fault maps.
+        fault maps.  Also rebuilds the per-code clear/set masks the fused
+        read-back path consumes and bumps :attr:`fault_version`.
         """
         self._fault_cache.clear()
+        self._code_masks.clear()
         for name, layout in self.layouts.items():
             sa0 = np.zeros(layout.cell_shape, dtype=bool)
             sa1 = np.zeros(layout.cell_shape, dtype=bool)
@@ -129,6 +161,8 @@ class WeightCrossbarMapper:
                 sa0[row_slice, col_slice] = crossbar.fault_map.sa0[:local_rows, :local_cols]
                 sa1[row_slice, col_slice] = crossbar.fault_map.sa1[:local_rows, :local_cols]
             self._fault_cache[name] = (sa0, sa1)
+            self._code_masks[name] = fault_code_masks(sa0, sa1, self.fmt)
+        self.fault_version += 1
 
     def layout(self, name: str) -> WeightLayout:
         if name not in self.layouts:
@@ -183,12 +217,22 @@ class WeightCrossbarMapper:
         return nonzero @ sa0.astype(np.float64).T + unsaturated @ sa1.astype(np.float64).T
 
     # ------------------------------------------------------------------ #
+    def record_write(self, name: str) -> None:
+        """Account one simulated re-programming of ``name``'s crossbars.
+
+        Used by the effective-weight cache on training-time hits: the
+        hardware re-programs the weights every batch even when the simulator
+        serves the faulty view from cache.
+        """
+        self.weight_write_events += self.layout(name).num_crossbars
+
     def effective_weights(
         self,
         name: str,
         values: np.ndarray,
         row_permutation: Optional[np.ndarray] = None,
         count_write: bool = True,
+        fused: Optional[bool] = None,
     ) -> np.ndarray:
         """Return the weights the crossbars actually provide to the MVM.
 
@@ -206,6 +250,11 @@ class WeightCrossbarMapper:
         count_write:
             Whether this call represents a re-programming of the weights
             (True during training, False for read-only analyses).
+        fused:
+            Override :attr:`use_fused` for this call.  The fused path applies
+            the precomputed per-code clear/set masks in a single integer
+            pass; the seed path materialises the full bit-sliced cell
+            pipeline.  Outputs are bit-identical.
         """
         layout = self.layout(name)
         values = np.asarray(values, dtype=np.float64)
@@ -214,42 +263,72 @@ class WeightCrossbarMapper:
                 f"values shape {values.shape} does not match layout {layout.shape}"
             )
         rows = layout.shape[0]
-        if row_permutation is None:
-            permutation = np.arange(rows, dtype=np.int64)
+        permutation: Optional[np.ndarray] = None
+        if row_permutation is not None:
+            permutation = check_permutation(row_permutation, rows, "row_permutation")
+
+        use_fused = self.use_fused if fused is None else bool(fused)
+        if use_fused:
+            # Logical row ``i`` sits at physical row ``permutation[i]``, so
+            # gathering the per-code masks with the permutation applies the
+            # physical faults directly to the logical matrix — no
+            # scatter/gather round trip through the stored layout.
+            clear, set_ = self._code_masks[name]
+            if permutation is not None:
+                clear = clear[permutation]
+                set_ = set_[permutation]
+            result = quantize_faulty_dequantize(values, clear, set_, self.fmt)
         else:
-            permutation = np.asarray(row_permutation, dtype=np.int64)
-            if sorted(permutation.tolist()) != list(range(rows)):
-                raise ValueError("row_permutation must be a permutation of the rows")
+            if permutation is None:
+                permutation = np.arange(rows, dtype=np.int64)
+            stored = np.empty_like(values)
+            stored[permutation] = values
 
-        stored = np.empty_like(values)
-        stored[permutation] = values
-
-        codes = quantize(stored, self.fmt)
-        cells = codes_to_cells(codes, self.fmt)  # (rows, cols, num_cells)
-        cell_matrix = cells.reshape(layout.cell_shape)
-        sa0, sa1 = self._fault_cache[name]
-        faulty_matrix = apply_faults_to_cells(cell_matrix, sa0, sa1, self.fmt.cell_levels)
-        faulty_cells = faulty_matrix.reshape(cells.shape)
-        faulty_codes = cells_to_codes(faulty_cells, self.fmt)
-        faulty_stored = dequantize(faulty_codes, self.fmt)
+            codes = quantize(stored, self.fmt)
+            cells = codes_to_cells(codes, self.fmt)  # (rows, cols, num_cells)
+            cell_matrix = cells.reshape(layout.cell_shape)
+            sa0, sa1 = self._fault_cache[name]
+            faulty_matrix = apply_faults_to_cells(
+                cell_matrix, sa0, sa1, self.fmt.cell_levels
+            )
+            faulty_cells = faulty_matrix.reshape(cells.shape)
+            faulty_codes = cells_to_codes(faulty_cells, self.fmt)
+            faulty_stored = dequantize(faulty_codes, self.fmt)
+            result = faulty_stored[permutation]
 
         if count_write:
             self.weight_write_events += layout.num_crossbars
-        return faulty_stored[permutation]
+        return result
 
 
 # --------------------------------------------------------------------------- #
 # Adjacency mapping
 # --------------------------------------------------------------------------- #
 class AdjacencyCrossbarMapper:
-    """Programs per-batch adjacency blocks onto crossbars and reads them back."""
+    """Programs per-batch adjacency blocks onto crossbars and reads them back.
+
+    Parameters
+    ----------
+    use_batched:
+        Route :meth:`apply_mapping` through the batched read-back: the
+        batch's blocks are stacked into a ``(B, rows, cols)`` tensor and the
+        per-crossbar SA0/SA1 masks are applied with one vectorised gather —
+        no per-block ``program_binary``/``read_binary`` round trips; the
+        endurance counters advance in bulk.  The seed per-block loop is kept
+        (``False``) as the reference path; both are bit-identical (enforced
+        by ``tests/test_core_hw_state.py``).
+    """
 
     def __init__(
-        self, crossbars: Sequence[Crossbar], config: ReRAMConfig = DEFAULT_CONFIG
+        self,
+        crossbars: Sequence[Crossbar],
+        config: ReRAMConfig = DEFAULT_CONFIG,
+        use_batched: bool = True,
     ) -> None:
         if not crossbars:
             raise ValueError("adjacency mapper needs at least one crossbar")
         self.config = config
+        self.use_batched = bool(use_batched)
         self.crossbars = list(crossbars)
         self.by_id: Dict[int, Crossbar] = {x.crossbar_id: x for x in self.crossbars}
         self.block_write_events = 0
@@ -263,6 +342,21 @@ class AdjacencyCrossbarMapper:
 
     def fault_maps_by_id(self) -> Dict[int, FaultMap]:
         return {x.crossbar_id: x.fault_map for x in self.crossbars}
+
+    def writes_per_crossbar(self, mapping: BatchMapping) -> List[Tuple[Crossbar, int]]:
+        """Resolved ``(crossbar, full-array writes)`` pairs for one mapping.
+
+        One entry per distinct target crossbar, counting the blocks programmed
+        onto it — the simulated write-accounting unit.  Single source for both
+        the batched read-back's bulk endurance update and the epoch cache's
+        hit replay (:mod:`repro.core.hw_state`), so the two cannot diverge.
+        """
+        counts: Dict[int, int] = {}
+        for block_mapping in mapping.blocks:
+            counts[block_mapping.crossbar_index] = (
+                counts.get(block_mapping.crossbar_index, 0) + 1
+            )
+        return [(self.by_id[index], count) for index, count in counts.items()]
 
     # ------------------------------------------------------------------ #
     def decompose(self, adjacency: CSRMatrix) -> Tuple[List[np.ndarray], Tuple[int, int]]:
@@ -299,12 +393,15 @@ class AdjacencyCrossbarMapper:
         mapping: BatchMapping,
         blocks: Optional[List[np.ndarray]] = None,
         grid: Optional[Tuple[int, int]] = None,
+        batched: Optional[bool] = None,
     ) -> CSRMatrix:
         """Program the blocks per ``mapping`` and return the faulty adjacency.
 
         The returned matrix is the structural adjacency the aggregation phase
         actually uses: SA1 cells appear as spurious edges, SA0 cells delete
-        stored edges.
+        stored edges.  ``batched`` overrides :attr:`use_batched` for this
+        call; both paths produce bit-identical results and identical
+        write/endurance accounting.
         """
         if blocks is None or grid is None:
             blocks, grid = self.decompose(adjacency)
@@ -313,9 +410,27 @@ class AdjacencyCrossbarMapper:
                 f"mapping covers {len(mapping)} blocks but the adjacency has "
                 f"{len(blocks)}"
             )
+        use_batched = self.use_batched if batched is None else bool(batched)
+        if use_batched and mapping.blocks:
+            faulty_dense = self._read_back_batched(blocks, mapping, grid)
+        else:
+            faulty_dense = self._read_back_loop(blocks, mapping, grid)
+        n = adjacency.shape[0]
+        faulty_dense = faulty_dense[:n, : adjacency.shape[1]]
+        # Faults outside the logical adjacency area (padding region) are
+        # irrelevant; the truncation above drops them.
+        np.fill_diagonal(faulty_dense, 0.0)
+        return CSRMatrix.from_dense(faulty_dense)
+
+    def _read_back_loop(
+        self,
+        blocks: List[np.ndarray],
+        mapping: BatchMapping,
+        grid: Tuple[int, int],
+    ) -> np.ndarray:
+        """The seed per-block path: one program/read round trip per block."""
         rows = self.config.crossbar_rows
         cols = self.config.crossbar_cols
-        n = adjacency.shape[0]
         row_blocks, col_blocks = grid
         faulty_dense = np.zeros((row_blocks * rows, col_blocks * cols), dtype=np.float64)
         for block_mapping in mapping.blocks:
@@ -329,11 +444,77 @@ class AdjacencyCrossbarMapper:
             )
             bi, bj = divmod(index, col_blocks)
             faulty_dense[bi * rows : (bi + 1) * rows, bj * cols : (bj + 1) * cols] = read_back
-        faulty_dense = faulty_dense[:n, : adjacency.shape[1]]
-        # Faults outside the logical adjacency area (padding region) are
-        # irrelevant; the truncation above drops them.
-        np.fill_diagonal(faulty_dense, 0.0)
-        return CSRMatrix.from_dense(faulty_dense)
+        return faulty_dense
+
+    def _read_back_batched(
+        self,
+        blocks: List[np.ndarray],
+        mapping: BatchMapping,
+        grid: Tuple[int, int],
+    ) -> np.ndarray:
+        """Vectorised read-back: one fault gather over the stacked batch.
+
+        Per block, programming then reading through the stuck-at masks
+        reduces to ``where(sa1[perm], 1, where(sa0[perm], 0, block))``; the
+        whole batch is resolved with a single fancy-indexed gather over the
+        stacked per-crossbar masks and one ``np.where`` chain, then scattered
+        into the dense grid with one reshape/transpose.  Crossbar state
+        (stored contents, endurance counters) is updated in bulk so it ends
+        exactly where the per-block loop would leave it.
+        """
+        rows = self.config.crossbar_rows
+        cols = self.config.crossbar_cols
+        row_blocks, col_blocks = grid
+        order = mapping.blocks
+        block_idx = np.array([m.block_index for m in order], dtype=np.int64)
+        stacked = np.stack([np.asarray(blocks[i]) for i in block_idx])
+        if stacked.shape[1:] != (rows, cols):
+            raise ValueError(
+                f"binary block shape {stacked.shape[1:]} must equal crossbar "
+                f"shape ({rows}, {cols})"
+            )
+        ones = (stacked > 0).astype(np.float64)
+        perms = np.stack(
+            [
+                check_permutation(m.row_permutation, rows, "row_permutation")
+                for m in order
+            ]
+        )
+
+        unique_index: Dict[int, int] = {}
+        for m in order:
+            unique_index.setdefault(m.crossbar_index, len(unique_index))
+        unique_ids = list(unique_index)
+        sa0_stack = np.stack([self.by_id[c].fault_map.sa0 for c in unique_ids])
+        sa1_stack = np.stack([self.by_id[c].fault_map.sa1 for c in unique_ids])
+        owner = np.array([unique_index[m.crossbar_index] for m in order], dtype=np.int64)
+        # sa*_sel[b, i, :] = sa*_stack[owner[b], perms[b, i], :] — the fault
+        # rows each logical block row actually lands on.
+        sa0_sel = sa0_stack[owner[:, None], perms]
+        sa1_sel = sa1_stack[owner[:, None], perms]
+        read_stack = apply_faults_to_binary_batch(ones, sa0_sel, sa1_sel)
+
+        grid_arr = np.zeros((row_blocks, col_blocks, rows, cols), dtype=np.float64)
+        grid_arr[block_idx // col_blocks, block_idx % col_blocks] = read_stack
+        faulty_dense = (
+            grid_arr.transpose(0, 2, 1, 3).reshape(row_blocks * rows, col_blocks * cols)
+        )
+
+        # Bulk hardware-state update: endurance counters advance by the
+        # per-crossbar block count, stored contents end at the last block
+        # programmed per crossbar (matching the loop's final state).
+        for crossbar, count in self.writes_per_crossbar(mapping):
+            crossbar.record_simulated_writes(count)
+        last: Dict[int, int] = {}
+        for position, m in enumerate(order):
+            last[m.crossbar_index] = position
+        for crossbar_index, position in last.items():
+            self.by_id[crossbar_index].store_binary(
+                blocks[block_idx[position]],
+                row_permutation=order[position].row_permutation,
+            )
+        self.block_write_events += len(order)
+        return faulty_dense
 
 
 # --------------------------------------------------------------------------- #

@@ -16,6 +16,16 @@
 
 The trainer also accumulates the counters (batches, blocks, crossbars,
 reordering events) the Fig. 7 timing model consumes.
+
+Performance model: the per-batch hardware *simulation* (faulty adjacency
+read-back, effective-weight pipeline) is served from the versioned
+:class:`~repro.core.hw_state.HardwareStateCache` — recomputed only when the
+underlying state changes (fault injection, BIST re-scan, plan refresh,
+optimiser step), while the simulated write/endurance accounting still
+advances per batch exactly as on the uncached path.
+``use_hw_state_cache=False`` restores the seed per-batch recomputation
+bit-for-bit (equivalence enforced by ``tests/test_core_hw_state.py``,
+throughput tracked by ``benchmarks/test_bench_train_epoch.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.hw_state import HardwareStateCache
 from repro.core.strategies import Strategy
 from repro.graph.graph import Graph
 from repro.graph.sampling import ClusterBatchSampler
@@ -109,6 +120,7 @@ class FaultyTrainer:
         config: TrainingConfig,
         hardware: Optional[HardwareEnvironment] = None,
         post_deployment: Optional[PostDeploymentSchedule] = None,
+        use_hw_state_cache: bool = True,
     ) -> None:
         self.graph = graph
         self.model_name = model_name.lower()
@@ -116,6 +128,11 @@ class FaultyTrainer:
         self.config = config
         self.hardware = hardware
         self.post_deployment = post_deployment
+        #: Epoch-cached hardware read-back (see :mod:`repro.core.hw_state`).
+        #: ``False`` restores the seed per-batch recomputation path exactly —
+        #: per-block program/read loops and the unfused weight pipeline — for
+        #: the equivalence tests and the epoch-throughput benchmark baseline.
+        self.use_hw_state_cache = bool(use_hw_state_cache)
         if strategy.requires_hardware and hardware is None:
             raise ValueError(
                 f"strategy {strategy.name!r} requires a HardwareEnvironment"
@@ -148,6 +165,7 @@ class FaultyTrainer:
 
         self._weight_mapper: Optional[WeightCrossbarMapper] = None
         self._adjacency_mapper: Optional[AdjacencyCrossbarMapper] = None
+        self._hw_cache: Optional[HardwareStateCache] = None
         self._plans = None
         self._blocks_per_batch = None
         self._grids = None
@@ -161,11 +179,21 @@ class FaultyTrainer:
             return
         hw = self.hardware
         self._weight_mapper = WeightCrossbarMapper(
-            self.model, hw.weight_crossbars, hw.fmt, hw.config
+            self.model,
+            hw.weight_crossbars,
+            hw.fmt,
+            hw.config,
+            use_fused=self.use_hw_state_cache,
         )
         self._adjacency_mapper = AdjacencyCrossbarMapper(
-            hw.adjacency_crossbars, hw.config
+            hw.adjacency_crossbars, hw.config, use_batched=self.use_hw_state_cache
         )
+        self._hw_cache = HardwareStateCache(
+            self._adjacency_mapper,
+            self._weight_mapper,
+            enabled=self.use_hw_state_cache,
+        )
+        self.strategy.attach_hw_state_cache(self._hw_cache)
         self._blocks_per_batch = []
         self._grids = []
         for batch in self.batches:
@@ -187,21 +215,33 @@ class FaultyTrainer:
         layout_names = self._weight_mapper.layouts
         if name not in layout_names:
             return values
-        permutation = self.strategy.weight_storage_permutation(
-            name,
-            values,
-            lambda: self._weight_mapper.row_mismatch_cost(name, values),
+        # Evaluation re-reads the crossbars without re-programming them, so
+        # only training-mode calls count as weight-write events (the Fig. 7
+        # timing counters track training writes).
+        training = self.model.training
+
+        def compute() -> np.ndarray:
+            permutation = self.strategy.weight_storage_permutation(
+                name,
+                values,
+                lambda: self._weight_mapper.row_mismatch_cost(name, values),
+            )
+            effective = self._weight_mapper.effective_weights(
+                name, values, row_permutation=permutation, count_write=training
+            )
+            return self.strategy.transform_effective_weights(name, effective)
+
+        key = (self.optimizer.param_version, self._weight_mapper.fault_version)
+        return self._hw_cache.effective_weights(
+            name, key, compute, count_hit_write=training
         )
-        effective = self._weight_mapper.effective_weights(
-            name, values, row_permutation=permutation
-        )
-        return self.strategy.transform_effective_weights(name, effective)
 
     def _batch_inputs(self, batch_index: int) -> BatchInputs:
         batch = self.batches[batch_index]
         adjacency = batch.subgraph.adjacency
         if self.strategy.requires_hardware:
-            adjacency = self._adjacency_mapper.apply_mapping(
+            adjacency = self._hw_cache.batch_adjacency(
+                batch_index,
                 adjacency,
                 self._plans[batch_index],
                 blocks=self._blocks_per_batch[batch_index],
@@ -284,6 +324,10 @@ class FaultyTrainer:
         self._plans = self.strategy.refresh_adjacency(
             self._plans, self._blocks_per_batch, fault_maps_by_id
         )
+        # Fault maps and (potentially) plans changed: cached read-backs are
+        # stale.  The fault-map component of the cache key advances on its
+        # own (crossbar fault epochs); this bump covers the plan refresh.
+        self._hw_cache.bump_plan_version()
 
     # ------------------------------------------------------------------ #
     # Evaluation

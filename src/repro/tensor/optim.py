@@ -24,6 +24,10 @@ class Optimizer:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
+        #: Monotonic counter identifying the parameter state: bumped once per
+        #: :meth:`step`.  Consumers deriving state from the parameters (the
+        #: effective-weight cache in :mod:`repro.core.hw_state`) key on it.
+        self.param_version = 0
 
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""
@@ -31,6 +35,16 @@ class Optimizer:
             param.zero_grad()
 
     def step(self) -> None:
+        """Apply one update; subclasses implement :meth:`_step`.
+
+        The version bump lives here (not in the subclasses) so the
+        effective-weight cache invariant — every parameter update advances
+        :attr:`param_version` — cannot be forgotten by a new optimiser.
+        """
+        self.param_version += 1
+        self._step()
+
+    def _step(self) -> None:
         raise NotImplementedError
 
 
@@ -53,7 +67,7 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity: Dict[int, np.ndarray] = {}
 
-    def step(self) -> None:
+    def _step(self) -> None:
         for param in self.parameters:
             if param.grad is None:
                 continue
@@ -97,7 +111,7 @@ class Adam(Optimizer):
         self._v: Dict[int, np.ndarray] = {}
         self._step_count = 0
 
-    def step(self) -> None:
+    def _step(self) -> None:
         self._step_count += 1
         t = self._step_count
         for param in self.parameters:

@@ -51,6 +51,27 @@ def check_square_matrix(mat: np.ndarray, name: str) -> np.ndarray:
     return mat
 
 
+def check_permutation(perm: Any, n: int, name: str = "permutation") -> np.ndarray:
+    """Validate that ``perm`` is a permutation of ``0..n-1`` and return it.
+
+    Runs in O(n) via ``np.bincount`` (the previous idiom at the call sites —
+    ``sorted(perm.tolist()) == list(range(n))`` — was O(n log n) plus a
+    Python-list round trip, and sat inside per-block hot loops).
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (n,):
+        raise ValueError(
+            f"{name} must have shape ({n},), got {tuple(perm.shape)}"
+        )
+    if n == 0:
+        return perm
+    if perm.min() < 0 or perm.max() >= n:
+        raise ValueError(f"{name} must be a permutation of 0..{n - 1}")
+    if not np.all(np.bincount(perm, minlength=n) == 1):
+        raise ValueError(f"{name} must be a permutation of 0..{n - 1}")
+    return perm
+
+
 def check_probability_ratio(sa0: float, sa1: float) -> tuple:
     """Validate an SA0:SA1 ratio pair and return it normalised to sum to one."""
     if sa0 < 0 or sa1 < 0:

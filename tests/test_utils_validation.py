@@ -6,6 +6,7 @@ import pytest
 from repro.utils.validation import (
     check_fraction,
     check_non_negative_int,
+    check_permutation,
     check_positive_int,
     check_probability_ratio,
     check_square_matrix,
@@ -79,6 +80,33 @@ class TestCheckSquareMatrix:
     def test_rejects_vector(self):
         with pytest.raises(ValueError):
             check_square_matrix(np.zeros(4), "m")
+
+
+class TestCheckPermutation:
+    def test_accepts_valid(self):
+        perm = check_permutation([2, 0, 1], 3)
+        assert perm.dtype == np.int64
+        np.testing.assert_array_equal(perm, [2, 0, 1])
+
+    def test_accepts_identity_and_empty(self):
+        np.testing.assert_array_equal(check_permutation(np.arange(5), 5), np.arange(5))
+        assert check_permutation([], 0).size == 0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            check_permutation([0, 1], 3)
+        with pytest.raises(ValueError):
+            check_permutation(np.zeros((2, 2), dtype=int), 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_permutation([0, 1, 3], 3)
+        with pytest.raises(ValueError):
+            check_permutation([-1, 0, 1], 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            check_permutation([0, 1, 1], 3)
 
 
 class TestCheckProbabilityRatio:
