@@ -39,9 +39,24 @@ def record_result(
 ) -> None:
     """Print a result table and persist it under ``benchmarks/results/``.
 
-    ``metrics`` (optional) additionally writes ``<name>.json`` with a flat
-    machine-readable ``metric name → value`` mapping for the perf-trajectory
-    summary assembled by ``run_benchmarks.py``.
+    The single output channel of every benchmark (see
+    ``benchmarks/README.md`` for the full contract and the summary schema).
+
+    Parameters
+    ----------
+    name:
+        Result file stem: the table lands in ``results/<name>.txt`` and the
+        metrics in ``results/<name>.json`` (the directory is created on
+        demand).
+    text:
+        Human-readable table; also printed so it survives pytest's capture
+        in the ``run_benchmarks.py`` log.
+    metrics:
+        Optional flat ``metric name → number`` mapping for the
+        perf-trajectory summary assembled by ``run_benchmarks.py``
+        (merged into ``results/bench_summary.json``).  Values are coerced
+        with ``float()``; keys should use the ``"<bench>.<quantity>"``
+        dotted convention so the merged summary stays collision-free.
     """
     print()
     print(text)

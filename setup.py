@@ -1,11 +1,32 @@
-"""Setuptools shim.
+"""Setuptools entry point for the FARe reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works on offline machines whose setuptools
-lacks the ``wheel`` backend required by PEP 517 editable installs
-(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+The library is a plain ``src``-layout package with a single hard runtime
+dependency (numpy).  Most workflows never install it — the repository is
+designed to run in place with ``PYTHONPATH=src`` (see README.md) — but
+``pip install -e .`` works for users who want ``import repro`` available
+everywhere.  The test extra mirrors what the suites under ``tests/`` and
+``benchmarks/`` import.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="fare-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of FARe: fault-aware training of GNNs on "
+        "ReRAM-based PIM accelerators (DATE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "scipy",  # cross-checks the from-scratch solvers
+        ],
+    },
+)

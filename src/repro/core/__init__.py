@@ -1,5 +1,8 @@
 """The FARe framework (paper Section IV) and baseline fault-handling strategies.
 
+* :mod:`~repro.core.batch_solvers` — lockstep-batched exact assignment
+  solvers (Hungarian, b-Suitor) for the cost engine's pair stacks,
+  bit-identical to the scalar solvers in :mod:`repro.matching`.
 * :mod:`~repro.core.clipping` — weight clipping for the combination phase.
 * :mod:`~repro.core.cost_engine` — batched, cached computation of Algorithm
   1's inner-loop costs (fingerprint dedupe, lazy permutations, result cache).

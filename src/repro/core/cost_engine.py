@@ -38,9 +38,12 @@ Performance model (``B`` blocks, ``M`` crossbars, ``R × C`` crossbar):
 stage                  seed loop                                       cost engine
 =====================  ==============================================  =========================================
 row-cost matrices      ``B·M`` Python calls, 2 matmuls each            2 batched matmuls over unique pairs
-inner assignments      ``B·M`` solver calls                            one vectorised batched-greedy sweep
-                                                                       (``R`` argmins total) over non-zero,
-                                                                       non-duplicate, uncached pairs
+inner assignments      ``B·M`` solver calls                            one vectorised stack solve over
+                                                                       non-zero, non-duplicate, uncached
+                                                                       pairs: the batched-greedy sweep
+                                                                       (``R`` argmins total) or a lockstep
+                                                                       exact solver from
+                                                                       :mod:`repro.core.batch_solvers`
 permutations           ``B·M`` materialised                            ≤ ``B`` materialised (lazy)
 repeated batches       full recompute                                  cache hits, no tensor work
 =====================  ==============================================  =========================================
@@ -61,6 +64,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch_solvers import BATCH_SOLVERS, solve_assignment_batch
 from repro.hardware.faults import FaultMap
 from repro.matching.bipartite import solve_assignment
 from repro.matching.greedy import greedy_assignment_batch
@@ -134,6 +138,10 @@ class CostEngineStats:
     zero_cost_pairs: int = 0
     solver_pairs: int = 0
     lazy_permutations: int = 0
+    #: Of ``solver_pairs``, how many were solved by a batched stack solve
+    #: (the greedy sweep or a :mod:`repro.core.batch_solvers` exact solver)
+    #: rather than one scalar Python call.
+    batched_solver_pairs: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -150,6 +158,7 @@ class CostEngineStats:
             "mapping_zero_cost_pairs": float(self.zero_cost_pairs),
             "mapping_solver_pairs": float(self.solver_pairs),
             "mapping_lazy_permutations": float(self.lazy_permutations),
+            "mapping_batched_solver_pairs": float(self.batched_solver_pairs),
         }
 
     def reset(self) -> None:
@@ -183,15 +192,23 @@ class MappingCostEngine:
     sa1_weight:
         Multiplier applied to SA1 mismatches (part of every cache key).
     row_method:
-        Assignment solver for the inner row matching (``'greedy'`` enables
-        the fully vectorised batched solve; ``'hungarian'``/``'bsuitor'``
-        still benefit from batched cost matrices, dedupe and caching).
+        Assignment solver for the inner row matching.  All three methods run
+        fully batched: ``'greedy'`` through the vectorised sweep in
+        :mod:`repro.matching.greedy`, ``'hungarian'``/``'bsuitor'`` through
+        the lockstep exact solvers in :mod:`repro.core.batch_solvers`.
     cache_size:
         Maximum number of pair results kept (LRU eviction).
     max_chunk_cells:
         Upper bound on the number of float64 elements materialised per batched
         chunk; keeps the ``(pairs, R, C)`` intermediates within a fixed
         memory budget on large batches.
+    use_batched_exact:
+        Route ``'hungarian'``/``'bsuitor'`` pair stacks through the batched
+        exact solvers (default).  ``False`` keeps the seed behaviour of one
+        scalar :func:`~repro.matching.bipartite.solve_assignment` call per
+        pair — the reference path for the equivalence tests and the
+        ``benchmarks/test_bench_exact_matching.py`` speedup gate.  Both
+        paths are bit-identical.
     """
 
     def __init__(
@@ -200,6 +217,7 @@ class MappingCostEngine:
         row_method: str = "greedy",
         cache_size: int = 65536,
         max_chunk_cells: int = 16_000_000,
+        use_batched_exact: bool = True,
     ) -> None:
         if sa1_weight < 0:
             raise ValueError(f"sa1_weight must be non-negative, got {sa1_weight}")
@@ -209,6 +227,7 @@ class MappingCostEngine:
         self.row_method = row_method
         self.cache_size = int(cache_size)
         self.max_chunk_cells = int(max_chunk_cells)
+        self.use_batched_exact = bool(use_batched_exact)
         self.stats = CostEngineStats()
         self._cache: "OrderedDict[Tuple, _PairEntry]" = OrderedDict()
 
@@ -553,6 +572,7 @@ class MappingCostEngine:
                 )
             assignments, totals = greedy_assignment_batch(total)
             self.stats.solver_pairs += len(live_pairs)
+            self.stats.batched_solver_pairs += len(live_pairs)
             # Vectorised SA1 gather: per pair the same values in the same
             # order as the seed's fancy-indexed row sum (exact integers).
             sa1_totals = (
@@ -570,6 +590,29 @@ class MappingCostEngine:
                         cost=float(totals[k]),
                         sa1_mismatch=float(sa1_totals[k]),
                         permutation=assignments[k],
+                    ),
+                )
+        elif self.use_batched_exact and self.row_method in BATCH_SOLVERS:
+            # Lockstep exact solve of the whole pair stack (bit-identical to
+            # the scalar per-pair calls below, which remain the seed path).
+            sa1_f64 = sa1_live.astype(np.float64)
+            total = sa0_live.astype(np.float64) + self.sa1_weight * sa1_f64
+            assignments, totals = solve_assignment_batch(
+                total, method=self.row_method
+            )
+            self.stats.solver_pairs += len(live_pairs)
+            self.stats.batched_solver_pairs += len(live_pairs)
+            rows = np.arange(assignments.shape[1])
+            for k, (ub, um) in enumerate(live_pairs):
+                permutation = assignments[k]
+                sa1 = float(sa1_f64[k, rows, permutation].sum())
+                record(
+                    ub,
+                    um,
+                    _PairEntry(
+                        cost=float(totals[k]),
+                        sa1_mismatch=sa1,
+                        permutation=permutation,
                     ),
                 )
         else:

@@ -37,12 +37,16 @@ pre-processing phase.  Two execution paths produce **identical**
   :class:`~repro.core.cost_engine.MappingCostEngine`, which batches the cost
   tensors, dedupes identical blocks/fault maps, skips fault-free and
   provably-zero pairs, solves the remaining inner assignments in one
-  vectorised sweep (for the greedy row method), materialises only the ≤ ``B``
-  selected permutations, and caches every pair result by content fingerprint
-  so per-epoch refreshes on unchanged BIST maps are near-free.
+  vectorised stack solve (the batched-greedy sweep or a lockstep exact
+  solver from :mod:`repro.core.batch_solvers`, per the row method),
+  materialises only the ≤ ``B`` selected permutations, and caches every pair
+  result by content fingerprint so per-epoch refreshes on unchanged BIST
+  maps are near-free.
 
 ``benchmarks/test_bench_mapping_throughput.py`` tracks the blocks-per-second
-ratio between the two paths.
+ratio between the two paths for the greedy row method and
+``benchmarks/test_bench_exact_matching.py`` for the exact ones; the overall
+layering is documented in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -271,6 +275,12 @@ class FaultAwareMapper:
         seed per-pair loop is kept (``False``) as the reference path for the
         equivalence tests and the throughput benchmark; both paths return
         identical mappings.
+    use_batched_exact:
+        With the cost engine enabled, solve ``'hungarian'``/``'bsuitor'``
+        pair stacks with the lockstep batched solvers of
+        :mod:`repro.core.batch_solvers` (default).  ``False`` keeps one
+        scalar solver call per pair inside the engine — again bit-identical,
+        kept reachable for the exact-matching speedup benchmark.
     """
 
     def __init__(
@@ -281,6 +291,7 @@ class FaultAwareMapper:
         prune_crossbars: bool = True,
         relax_sparsest_block: bool = True,
         use_cost_engine: bool = True,
+        use_batched_exact: bool = True,
     ) -> None:
         if sa1_weight < 1.0:
             raise ValueError(
@@ -293,7 +304,11 @@ class FaultAwareMapper:
         self.prune_crossbars = bool(prune_crossbars)
         self.relax_sparsest_block = bool(relax_sparsest_block)
         self.cost_engine: Optional[MappingCostEngine] = (
-            MappingCostEngine(sa1_weight=self.sa1_weight, row_method=row_method)
+            MappingCostEngine(
+                sa1_weight=self.sa1_weight,
+                row_method=row_method,
+                use_batched_exact=use_batched_exact,
+            )
             if use_cost_engine
             else None
         )

@@ -351,6 +351,7 @@ class FaReStrategy(Strategy):
         assignment_method: str = "hungarian",
         prune_crossbars: bool = True,
         relax_sparsest_block: bool = True,
+        use_batched_exact: bool = True,
     ) -> None:
         self.clipper = WeightClipper(clipping_threshold)
         self.mapper = FaultAwareMapper(
@@ -359,6 +360,7 @@ class FaReStrategy(Strategy):
             assignment_method=assignment_method,
             prune_crossbars=prune_crossbars,
             relax_sparsest_block=relax_sparsest_block,
+            use_batched_exact=use_batched_exact,
         )
 
     # -- aggregation ---------------------------------------------------- #

@@ -1,4 +1,11 @@
-"""Shared helpers for assignment problems: validation, scoring, dispatch."""
+"""Shared helpers for assignment problems: validation, scoring, dispatch.
+
+:data:`SOLVERS` / :func:`solve_assignment` dispatch the scalar solvers; the
+batch counterparts (same method names, ``(B, n, m)`` stacks, bit-identical
+per-slice results) live in :mod:`repro.core.batch_solvers` — one layer up,
+because the batched exact solvers are part of the mapping cost engine's
+machinery while this package stays dependency-free scalar reference code.
+"""
 
 from __future__ import annotations
 

@@ -12,6 +12,16 @@ edge); accepted proposals may displace a previous suitor, which then gets
 re-enqueued to propose elsewhere.  At termination, pairs that are mutually
 each other's suitors form the matching, whose weight is at least half the
 optimum.
+
+This is the scalar reference implementation.  For the ``b = 1`` assignment
+front-end the mapping cost engine solves whole stacks of cost matrices at
+once with :func:`repro.core.batch_solvers.bsuitor_assignment_batch`, which
+replays this module's proposal schedule (LIFO work stack, argsort preference
+order, strict-improvement acceptance) in lockstep across the stack; per-
+matrix results are bit-identical to :func:`bsuitor_assignment` — including
+on all-tied weights, where the processing order decides the matching — and
+the equivalence is enforced by ``tests/test_batch_solvers.py``.  Changes to
+the schedule here must be mirrored there.
 """
 
 from __future__ import annotations

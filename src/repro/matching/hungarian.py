@@ -7,6 +7,14 @@ Rectangular matrices with more columns than rows are handled directly; the
 returned assignment maps every row to a distinct column and has provably
 minimal total cost.  The test-suite cross-checks the result against
 ``scipy.optimize.linear_sum_assignment`` on random instances.
+
+This is the scalar reference implementation.  The mapping cost engine solves
+whole stacks of cost matrices at once with
+:func:`repro.core.batch_solvers.hungarian_assignment_batch`, a lockstep
+vectorisation of exactly this algorithm whose per-matrix results are
+bit-identical to :func:`hungarian_assignment` (including tie-breaking);
+changes to either implementation must keep the two in lockstep — the
+equivalence is enforced by ``tests/test_batch_solvers.py``.
 """
 
 from __future__ import annotations

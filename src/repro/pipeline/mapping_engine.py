@@ -23,6 +23,13 @@ per-cell loops (the reference, kept behind ``use_batched=False`` /
 ``fused=False``) and vectorised fast paths — a stacked fault-mask gather for
 the adjacency read-back, a fused per-code mask application for the weights —
 that the epoch cache in :mod:`repro.core.hw_state` builds on.
+
+How these mappers sit between the strategy layer (which plans the mappings
+and reports the cost engine's / hardware-state cache's work counters through
+:meth:`~repro.core.strategies.Strategy.mapping_engine_stats` into the trainer
+counters and :attr:`~repro.pipeline.timing.TimingBreakdown.components`) and
+the crossbar layer below is documented in ``docs/ARCHITECTURE.md``, together
+with the two cache-invalidation protocols that keep the fast paths honest.
 """
 
 from __future__ import annotations

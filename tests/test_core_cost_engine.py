@@ -39,7 +39,7 @@ def assert_mappings_identical(reference, candidate):
         np.testing.assert_array_equal(ref.row_permutation, got.row_permutation)
 
 
-def make_mappers(method, sa1_weight=4.0, prune=True, relax=True):
+def make_mappers(method, sa1_weight=4.0, prune=True, relax=True, batched_exact=True):
     kwargs = dict(
         sa1_weight=sa1_weight,
         row_method=method,
@@ -48,7 +48,9 @@ def make_mappers(method, sa1_weight=4.0, prune=True, relax=True):
     )
     return (
         FaultAwareMapper(use_cost_engine=False, **kwargs),
-        FaultAwareMapper(use_cost_engine=True, **kwargs),
+        FaultAwareMapper(
+            use_cost_engine=True, use_batched_exact=batched_exact, **kwargs
+        ),
     )
 
 
@@ -122,6 +124,53 @@ class TestEngineEquivalence:
             seed_mapper.map_blocks(blocks, fmaps),
             engine_mapper.map_blocks(blocks, fmaps),
         )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_exact_solvers_identical_to_seed_loop(self, seed):
+        """The lockstep Hungarian/b-Suitor stack solvers must reproduce the
+        seed loop bit for bit across fault densities and sa1 weights —
+        including heavily tied cost matrices, where only a faithful replay
+        of the scalar schedule keeps the tie-breaking identical."""
+        rng = np.random.default_rng(seed)
+        num_blocks = int(rng.integers(1, 6))
+        num_crossbars = int(rng.integers(1, 9))
+        size = int(rng.choice([4, 8, 16]))
+        method = ["hungarian", "bsuitor"][seed % 2]
+        sa1_weight = float(rng.choice([1.0, 4.0, 7.5]))
+        fault_rate = float(rng.choice([0.02, 0.1, 0.3]))
+        # Dense blocks against dense fault maps make near-constant cost
+        # matrices — the all-ties regime.
+        density = float(rng.choice([0.05, 0.5, 1.0]))
+        blocks = random_blocks(rng, num_blocks, size, density)
+        fmaps = FaultModel(fault_rate, (1.0, 1.0), seed=seed + 1).generate(
+            num_crossbars, size, size
+        )
+        seed_mapper, engine_mapper = make_mappers(method, sa1_weight=sa1_weight)
+        _, scalar_engine_mapper = make_mappers(
+            method, sa1_weight=sa1_weight, batched_exact=False
+        )
+        reference = seed_mapper.map_blocks(blocks, fmaps)
+        assert_mappings_identical(reference, engine_mapper.map_blocks(blocks, fmaps))
+        assert_mappings_identical(
+            reference, scalar_engine_mapper.map_blocks(blocks, fmaps)
+        )
+
+    @pytest.mark.parametrize("method", ["hungarian", "bsuitor"])
+    def test_batched_exact_counter_tracks_path(self, method):
+        rng = np.random.default_rng(21)
+        blocks = random_blocks(rng, 4, 8, 0.3)
+        fmaps = FaultModel(0.2, (1, 1), seed=22).generate(6, 8, 8)
+        _, batched = make_mappers(method)
+        _, scalar = make_mappers(method, batched_exact=False)
+        batched.map_blocks(blocks, fmaps)
+        scalar.map_blocks(blocks, fmaps)
+        assert batched.cost_engine.stats.batched_solver_pairs > 0
+        assert batched.cost_engine.stats.batched_solver_pairs == (
+            batched.cost_engine.stats.solver_pairs
+        )
+        assert scalar.cost_engine.stats.batched_solver_pairs == 0
+        assert scalar.cost_engine.stats.solver_pairs > 0
 
     def test_single_pair_matches_module_function(self):
         rng = np.random.default_rng(5)
@@ -260,3 +309,85 @@ class TestStats:
         assert stats.hit_rate == pytest.approx(0.75)
         stats.reset()
         assert stats.cache_hits == 0 and stats.hit_rate == 0.0
+
+    def test_batched_solver_pairs_exported(self):
+        stats = CostEngineStats(batched_solver_pairs=5)
+        assert stats.as_dict()["mapping_batched_solver_pairs"] == 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Solver edge cases shared by the seed, scalar-engine and batched-exact paths
+# --------------------------------------------------------------------------- #
+class TestSolverEdgeCases:
+    """Degenerate inputs that stress tie-breaking and feasibility handling.
+
+    Every case is run through all three row methods and checked for
+    (a) bit-identical mappings across the seed loop, the scalar engine path
+    and the batched path, and (b) structurally valid row permutations
+    (:func:`repro.utils.validation.check_permutation`).
+    """
+
+    METHODS = ["greedy", "hungarian", "bsuitor"]
+
+    def _check_all_paths(self, blocks, fmaps, method):
+        from repro.utils.validation import check_permutation
+
+        seed_mapper, batched = make_mappers(method)
+        _, scalar = make_mappers(method, batched_exact=False)
+        reference = seed_mapper.map_blocks(blocks, fmaps)
+        assert_mappings_identical(reference, batched.map_blocks(blocks, fmaps))
+        assert_mappings_identical(reference, scalar.map_blocks(blocks, fmaps))
+        for mapping in reference.blocks:
+            check_permutation(
+                mapping.row_permutation, len(mapping.row_permutation)
+            )
+        return reference
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_ties_cost_matrices(self, method):
+        """Identical dense blocks on uniformly faulty maps: every entry of
+        every cost matrix ties, so the result is decided purely by the
+        solver's deterministic tie-breaking."""
+        block = np.ones((6, 6))
+        blocks = [block.copy(), block.copy()]
+        fmaps = [
+            FaultMap.from_indices((6, 6), sa0_indices=[(r, 0) for r in range(6)]),
+            FaultMap.from_indices((6, 6), sa0_indices=[(r, 3) for r in range(6)]),
+            FaultMap.empty(6, 6),
+        ]
+        reference = self._check_all_paths(blocks, fmaps, method)
+        assert reference.total_cost > 0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_sa0_rows_make_columns_infeasible(self, method):
+        """A fully SA0 crossbar row is uniformly hostile: every block row
+        stored there loses all its ones, producing one saturated column in
+        the cost matrix that every permutation must still cover."""
+        rng = np.random.default_rng(31)
+        blocks = random_blocks(rng, 2, 8, 0.6)
+        fmap = FaultMap.empty(8, 8)
+        fmap.sa0[2, :] = True  # entire crossbar row stuck at zero
+        fmap.sa0[5, :] = True
+        fmaps = [fmap, FaultMap.empty(8, 8)]
+        reference = self._check_all_paths(blocks, fmaps, method)
+        # Only one crossbar is fault-free, so exactly one block escapes the
+        # saturated columns; the other must still pay for covering them.
+        costs = sorted(m.cost for m in reference.blocks)
+        assert costs[0] == 0.0 and costs[1] > 0.0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_1x1_blocks(self, method):
+        blocks = [np.ones((1, 1)), np.zeros((1, 1))]
+        fmaps = [
+            FaultMap.from_indices((1, 1), sa0_indices=[(0, 0)]),
+            FaultMap.from_indices((1, 1), sa1_indices=[(0, 0)]),
+            FaultMap.empty(1, 1),
+        ]
+        self._check_all_paths(blocks, fmaps, method)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_single_block_single_crossbar(self, method):
+        rng = np.random.default_rng(33)
+        blocks = random_blocks(rng, 1, 4, 0.5)
+        fmaps = FaultModel(0.3, (1, 1), seed=34).generate(1, 4, 4)
+        self._check_all_paths(blocks, fmaps, method)

@@ -1,0 +1,43 @@
+"""Smoke test executing the README's first command.
+
+``examples/quickstart.py`` is the advertised entry point of the repository;
+running it (tiny configuration, a second or two) inside tier-1 means the
+README's quickstart can never silently rot.  The example is executed as a
+real subprocess — fresh interpreter, ``PYTHONPATH=src`` exactly as the
+README instructs — not imported, so argument parsing and the module guard
+are exercised too.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_quickstart_example_runs_end_to_end():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "examples" / "quickstart.py"),
+            "--epochs",
+            "2",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, f"quickstart failed:\n{proc.stderr}"
+    # The comparison table and the closing summary must both be present.
+    for needle in ("fault_free", "fault_unaware", "fare", "FARe restores"):
+        assert needle in proc.stdout, (
+            f"expected {needle!r} in quickstart output:\n{proc.stdout}"
+        )
