@@ -63,6 +63,10 @@ class Strategy:
     #: The trainer's :class:`~repro.core.hw_state.HardwareStateCache`, once
     #: attached; its hit/miss counters surface via :meth:`mapping_engine_stats`.
     _hw_state_cache = None
+    #: The trainer's :class:`~repro.tensor.kernels.KernelStatsView`, once
+    #: attached; the segment-reduce kernel call/hit counters of the run
+    #: surface via :meth:`mapping_engine_stats` alongside the cache stats.
+    _kernel_stats = None
 
     # ------------------------------------------------------------------ #
     # Aggregation phase
@@ -139,18 +143,34 @@ class Strategy:
         """
         self._hw_state_cache = cache
 
+    def attach_kernel_stats(self, view) -> None:
+        """Attach a per-run :class:`~repro.tensor.kernels.KernelStatsView`.
+
+        The trainer attaches one snapshot view per run so the segment-reduce
+        kernel counters (``kernel_*``: reduceat scatter/gather calls,
+        transpose-memo hits) flow through the same channel as the mapping
+        cost engine's and hardware-state cache's counters.
+        """
+        self._kernel_stats = view
+
     def mapping_engine_stats(self) -> Optional[Dict[str, float]]:
         """Cache/work counters of the mapping machinery, if any is in use.
 
         The base implementation reports the attached hardware-state cache's
-        hit/miss counters (``hw_*``); strategies that run Algorithm 1 (FARe)
+        hit/miss counters (``hw_*``) and the attached segment-reduce kernel
+        counters (``kernel_*``); strategies that run Algorithm 1 (FARe)
         merge in their cost engine's counters (``mapping_*``).  Returns
-        ``None`` when neither exists, e.g. for a freshly built strategy that
-        has not been handed to a trainer.  The timing model and the trainer
-        surface whatever is reported (see :mod:`repro.pipeline.timing`).
+        ``None`` when nothing is attached, e.g. for a freshly built strategy
+        that has not been handed to a trainer.  The timing model and the
+        trainer surface whatever is reported (see
+        :mod:`repro.pipeline.timing`).
         """
-        cache = self._hw_state_cache
-        return cache.stats.as_dict() if cache is not None else None
+        stats: Dict[str, float] = {}
+        if self._hw_state_cache is not None:
+            stats.update(self._hw_state_cache.stats.as_dict())
+        if self._kernel_stats is not None:
+            stats.update(self._kernel_stats.as_dict())
+        return stats or None
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:

@@ -10,22 +10,27 @@ need are implemented, all on top of plain numpy:
 * row/column sums, scaling, element count, densification.
 
 The matrix is deliberately immutable: every operation returns a new instance,
-which keeps fault-injection experiments free of aliasing surprises.
+which keeps fault-injection experiments free of aliasing surprises.  The
+numeric kernels (``dot``, ``transpose``, row sums) delegate to the
+segment-reduce layer in :mod:`repro.tensor.kernels`, and immutability is what
+makes the lazy ``.T`` memo safe: once computed, a transpose can never go
+stale, so it is cached on the instance and shared by every consumer.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.tensor import kernels
 from repro.utils.validation import check_positive_int
 
 
 class CSRMatrix:
     """Immutable CSR sparse matrix with float64 values."""
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = ("indptr", "indices", "data", "shape", "_transpose")
 
     def __init__(
         self,
@@ -38,6 +43,7 @@ class CSRMatrix:
         self.indices = np.asarray(indices, dtype=np.int64)
         self.data = np.asarray(data, dtype=np.float64)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._transpose: Optional["CSRMatrix"] = None
         self._validate()
 
     def _validate(self) -> None:
@@ -190,20 +196,34 @@ class CSRMatrix:
         single = dense.ndim == 1
         if single:
             dense = dense[:, None]
-        out = np.zeros((self.shape[0], dense.shape[1]), dtype=np.float64)
-        if self.nnz:
-            rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-            contrib = self.data[:, None] * dense[self.indices]
-            np.add.at(out, rows, contrib)
+        out = kernels.csr_matmat(self.indptr, self.indices, self.data, dense)
         return out[:, 0] if single else out
 
+    @property
+    def T(self) -> "CSRMatrix":
+        """The transposed matrix, computed lazily and memoised.
+
+        Safe because the matrix is immutable: the cached transpose can never
+        diverge from ``self``.  The memo is symmetric (``A.T.T is A``), so a
+        transpose round-trip allocates nothing.
+        """
+        if self._transpose is None:
+            kernels.COUNTERS.transpose_cache_misses += 1
+            indptr_t, indices_t, data_t = kernels.csr_transpose(
+                self.indptr, self.indices, self.data, self.shape
+            )
+            transposed = CSRMatrix(
+                indptr_t, indices_t, data_t, (self.shape[1], self.shape[0])
+            )
+            transposed._transpose = self
+            self._transpose = transposed
+        else:
+            kernels.COUNTERS.transpose_cache_hits += 1
+        return self._transpose
+
     def transpose(self) -> "CSRMatrix":
-        """Return the transposed matrix (also in CSR form)."""
-        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-        return CSRMatrix.from_coo(
-            self.indices, rows, self.data, (self.shape[1], self.shape[0]),
-            sum_duplicates=False,
-        )
+        """Return the transposed matrix (also in CSR form, memoised)."""
+        return self.T
 
     def scale(self, factor: float) -> "CSRMatrix":
         """Multiply every stored value by ``factor``."""
@@ -232,11 +252,7 @@ class CSRMatrix:
 
     def row_sums(self) -> np.ndarray:
         """Sum of stored values per row."""
-        out = np.zeros(self.shape[0], dtype=np.float64)
-        if self.nnz:
-            rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-            np.add.at(out, rows, self.data)
-        return out
+        return kernels.csr_row_sums(self.indptr, self.data)
 
     def col_sums(self) -> np.ndarray:
         """Sum of stored values per column."""
@@ -274,12 +290,15 @@ class CSRMatrix:
         if not (0 <= col_start <= col_stop <= self.shape[1]):
             raise ValueError(f"invalid column range [{col_start}, {col_stop})")
         block = np.zeros((row_stop - row_start, col_stop - col_start), dtype=np.float64)
-        for local_row, global_row in enumerate(range(row_start, row_stop)):
-            start, stop = self.indptr[global_row], self.indptr[global_row + 1]
-            cols = self.indices[start:stop]
-            vals = self.data[start:stop]
-            mask = (cols >= col_start) & (cols < col_stop)
-            block[local_row, cols[mask] - col_start] = vals[mask]
+        start, stop = self.indptr[row_start], self.indptr[row_stop]
+        cols = self.indices[start:stop]
+        vals = self.data[start:stop]
+        local_rows = np.repeat(
+            np.arange(row_stop - row_start, dtype=np.int64),
+            np.diff(self.indptr[row_start : row_stop + 1]),
+        )
+        mask = (cols >= col_start) & (cols < col_stop)
+        block[local_rows[mask], cols[mask] - col_start] = vals[mask]
         return block
 
     def submatrix(self, node_ids: np.ndarray) -> "CSRMatrix":
@@ -293,20 +312,22 @@ class CSRMatrix:
             raise ValueError("node id out of range")
         remap = -np.ones(self.shape[1], dtype=np.int64)
         remap[node_ids] = np.arange(node_ids.size)
-        new_rows, new_cols, new_vals = [], [], []
-        for local_row, global_row in enumerate(node_ids):
-            start, stop = self.indptr[global_row], self.indptr[global_row + 1]
-            cols = self.indices[start:stop]
-            vals = self.data[start:stop]
-            local_cols = remap[cols]
+        starts = self.indptr[node_ids]
+        counts = self.indptr[node_ids + 1] - starts
+        total = int(counts.sum())
+        if total:
+            # Flat positions of every selected row's entries: each row's start
+            # repeated, plus a within-row offset ramp.
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            flat = np.repeat(starts, counts) + offsets
+            rows = np.repeat(np.arange(node_ids.size, dtype=np.int64), counts)
+            local_cols = remap[self.indices[flat]]
             keep = local_cols >= 0
-            new_rows.append(np.full(int(keep.sum()), local_row, dtype=np.int64))
-            new_cols.append(local_cols[keep])
-            new_vals.append(vals[keep])
-        if new_rows:
-            rows = np.concatenate(new_rows)
-            cols = np.concatenate(new_cols)
-            vals = np.concatenate(new_vals)
+            rows = rows[keep]
+            cols = local_cols[keep]
+            vals = self.data[flat][keep]
         else:
             rows = cols = np.zeros(0, dtype=np.int64)
             vals = np.zeros(0)

@@ -1,31 +1,139 @@
 """Graph Attention Network (Veličković et al., 2018).
 
-The implementation uses dense masked attention: mini-batch subgraphs contain
-at most a few hundred nodes, so materialising the ``N × N`` attention logits
-is cheap and keeps the autograd graph simple.  The *structure* of the mask is
-the (possibly fault-corrupted) binary adjacency of the batch — a stuck-at-1
-fault therefore lets the layer attend to a non-neighbour and a stuck-at-0
-fault removes a real neighbour, exactly the failure mode Fig. 1(b) of the
-paper describes for the aggregation phase.
+The default implementation is *sparse edge-wise attention*: attention logits
+are computed per stored edge of the (possibly fault-corrupted) binary
+adjacency, normalised with a segment softmax over each destination row
+(:func:`repro.tensor.ops.edge_softmax`) and aggregated with a segment
+scatter-add.  Work and memory are therefore O(E) instead of the O(N²) of the
+seed's dense ``masked_fill`` path, which opens large-graph GAT workloads the
+dense path cannot reach.
+
+The dense path is kept fully reachable (``dense_attention=True`` or simply
+passing a dense boolean mask) and the two are equivalence-tested: the edge
+list is exactly the support of the dense mask — the corrupted adjacency's
+stored positive entries plus self loops — and the per-row max-shift/softmax
+arithmetic matches the dense masked softmax to floating-point round-off.
+
+Fault semantics are unchanged: the edge list is derived from the binary
+adjacency *as read back from the crossbars*, so a stuck-at-1 fault inserts an
+edge (the layer attends to a non-neighbour) and a stuck-at-0 fault removes a
+real edge, exactly the aggregation-phase failure mode Fig. 1(b) of the paper
+describes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.graph.sparse import CSRMatrix
 from repro.nn.base import BatchInputs, GNNModel
 from repro.nn.layers import Linear
-from repro.tensor import init, ops
+from repro.tensor import init, kernels, ops
 from repro.tensor.tensor import Tensor
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 _NEG_INF = -1e9
 
 
+# --------------------------------------------------------------------------- #
+# Attention edge lists
+# --------------------------------------------------------------------------- #
+def attention_edges(adjacency: CSRMatrix) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(indptr, cols)`` of the attention support of ``adjacency``.
+
+    The support is the set of (row, col) pairs the dense path allows:
+    coordinates whose value is positive (the corrupted binary adjacency's
+    edges — matching the dense ``to_dense() > 0`` mask, including its
+    last-wins resolution of duplicate stored coordinates) plus all self
+    loops, deduplicated and in row-major order.
+    """
+    n = adjacency.shape[0]
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be square")
+    rows = kernels.csr_row_ids(adjacency.indptr)
+    keys = rows * n + adjacency.indices
+    # Duplicate coordinates are legal (from_coo(sum_duplicates=False)); the
+    # dense mask sees the *last* stored value per coordinate, so resolve
+    # duplicates the same way before thresholding.
+    unique_keys, reversed_first = np.unique(keys[::-1], return_index=True)
+    last_occurrence = keys.size - 1 - reversed_first
+    keep = adjacency.data[last_occurrence] > 0
+    loops = np.arange(n, dtype=np.int64)
+    keys = np.unique(np.concatenate((unique_keys[keep], loops * n + loops)))
+    rows, cols = keys // n, keys % n
+    indptr = np.concatenate(
+        (
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(np.bincount(rows, minlength=n), dtype=np.int64),
+        )
+    )
+    return indptr, cols.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class AttentionEdges:
+    """Attention support of one adjacency, with its reusable kernel plans.
+
+    Built once per adjacency object and shared by every head, layer and
+    training step: ``row_ids`` is the per-edge destination-row expansion
+    (reused by the gathers, the edge softmax and the final scatter) and
+    ``cols_plan`` amortises the stable argsort the column-gather backward
+    would otherwise re-run per head per step.
+    """
+
+    indptr: np.ndarray
+    cols: np.ndarray
+    row_ids: np.ndarray
+    cols_plan: kernels.SegmentPlan
+
+
+#: Identity-keyed LRU memo of attention edge structures, mirroring
+#: ``graph/normalize.py``: the epoch-cached hardware read-back hands the same
+#: immutable adjacency object back per batch until the hardware state
+#: changes, so the per-forward edge-list construction collapses to a dict
+#: hit.  Entries pin the keyed matrix so its ``id()`` cannot be recycled; the
+#: ``is`` check makes a stale hit impossible either way.
+_EDGE_CACHE: "OrderedDict[int, Tuple[CSRMatrix, AttentionEdges]]" = OrderedDict()
+_EDGE_CACHE_SIZE = 64
+
+
+def attention_edges_cached(adjacency: CSRMatrix) -> AttentionEdges:
+    """Memoised :func:`attention_edges` + kernel plans, keyed on identity."""
+    key = id(adjacency)
+    hit = _EDGE_CACHE.get(key)
+    if hit is not None and hit[0] is adjacency:
+        _EDGE_CACHE.move_to_end(key)
+        return hit[1]
+    indptr, cols = attention_edges(adjacency)
+    edges = AttentionEdges(
+        indptr=indptr,
+        cols=cols,
+        row_ids=kernels.csr_row_ids(indptr),
+        cols_plan=kernels.segment_plan(cols, adjacency.shape[0]),
+    )
+    _EDGE_CACHE[key] = (adjacency, edges)
+    _EDGE_CACHE.move_to_end(key)
+    while len(_EDGE_CACHE) > _EDGE_CACHE_SIZE:
+        _EDGE_CACHE.popitem(last=False)
+    return edges
+
+
+def clear_edge_cache() -> None:
+    """Release all memoised attention edge lists (and their pinned keys)."""
+    _EDGE_CACHE.clear()
+
+
 class GATLayer(GNNModel):
-    """Multi-head graph attention layer (dense masked attention)."""
+    """Multi-head graph attention layer (sparse edge-wise by default).
+
+    ``forward`` accepts either a :class:`CSRMatrix` (sparse edge-wise
+    attention unless ``dense_attention=True``) or a dense boolean mask
+    (always the dense path, preserving the seed call signature).
+    """
 
     def __init__(
         self,
@@ -34,6 +142,7 @@ class GATLayer(GNNModel):
         num_heads: int = 2,
         concat_heads: bool = True,
         negative_slope: float = 0.2,
+        dense_attention: bool = False,
         name: str = "gat",
         rng=None,
     ) -> None:
@@ -48,6 +157,7 @@ class GATLayer(GNNModel):
         self.num_heads = num_heads
         self.concat_heads = concat_heads
         self.negative_slope = negative_slope
+        self.dense_attention = bool(dense_attention)
         self.head_features = (
             out_features // num_heads if concat_heads else out_features
         )
@@ -84,29 +194,18 @@ class GATLayer(GNNModel):
                 ),
             )
 
-    def forward(self, x: Tensor, adjacency_mask: np.ndarray) -> Tensor:
-        """Apply attention restricted to ``adjacency_mask`` (self loops included)."""
-        n = adjacency_mask.shape[0]
-        if adjacency_mask.shape != (n, n):
-            raise ValueError("adjacency_mask must be square")
-        allowed = adjacency_mask.astype(bool) | np.eye(n, dtype=bool)
-        head_outputs = []
-        for head in range(self.num_heads):
-            proj: Linear = getattr(self, f"proj{head}")
-            h = proj(x)
-            attn_src = self.effective_weight(
-                f"{self.layer_name}.head{head}.attn_src", getattr(self, f"attn_src{head}")
-            )
-            attn_dst = self.effective_weight(
-                f"{self.layer_name}.head{head}.attn_dst", getattr(self, f"attn_dst{head}")
-            )
-            src_scores = h @ attn_src  # (n, 1)
-            dst_scores = h @ attn_dst  # (n, 1)
-            logits = src_scores + dst_scores.transpose()
-            logits = ops.leaky_relu(logits, self.negative_slope)
-            logits = ops.masked_fill(logits, ~allowed, _NEG_INF)
-            attention = ops.softmax(logits, axis=1)
-            head_outputs.append(attention @ h)
+    # ------------------------------------------------------------------ #
+    def _head_weights(self, head: int) -> Tuple[Linear, Tensor, Tensor]:
+        proj: Linear = getattr(self, f"proj{head}")
+        attn_src = self.effective_weight(
+            f"{self.layer_name}.head{head}.attn_src", getattr(self, f"attn_src{head}")
+        )
+        attn_dst = self.effective_weight(
+            f"{self.layer_name}.head{head}.attn_dst", getattr(self, f"attn_dst{head}")
+        )
+        return proj, attn_src, attn_dst
+
+    def _combine_heads(self, head_outputs) -> Tensor:
         if self.concat_heads:
             return ops.concat(head_outputs, axis=1)
         total = head_outputs[0]
@@ -114,9 +213,67 @@ class GATLayer(GNNModel):
             total = total + other
         return total * (1.0 / self.num_heads)
 
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, x: Tensor, adjacency: Union[CSRMatrix, np.ndarray]
+    ) -> Tensor:
+        """Apply attention restricted to the adjacency's edges (+ self loops)."""
+        if isinstance(adjacency, CSRMatrix):
+            if self.dense_attention:
+                return self._forward_dense(x, adjacency.to_dense() > 0)
+            return self._forward_sparse(x, adjacency)
+        return self._forward_dense(x, np.asarray(adjacency))
+
+    def _forward_sparse(self, x: Tensor, adjacency: CSRMatrix) -> Tensor:
+        edges = attention_edges_cached(adjacency)
+        indptr, cols, row_ids = edges.indptr, edges.cols, edges.row_ids
+        n = indptr.shape[0] - 1
+        head_outputs = []
+        for head in range(self.num_heads):
+            proj, attn_src, attn_dst = self._head_weights(head)
+            h = proj(x)
+            src_scores = h @ attn_src  # (n, 1)
+            dst_scores = h @ attn_dst  # (n, 1)
+            # Edge (i <- j): logit = src[i] + dst[j], exactly the dense
+            # logits[i, j] = src_scores[i] + dst_scores[j] restricted to the
+            # mask's support.
+            logits = ops.gather_rows(src_scores, row_ids) + ops.gather_rows(
+                dst_scores, cols, scatter_plan=edges.cols_plan
+            )
+            logits = ops.leaky_relu(logits, self.negative_slope)
+            attention = ops.edge_softmax(logits, indptr, row_ids=row_ids)
+            messages = attention * ops.gather_rows(
+                h, cols, scatter_plan=edges.cols_plan
+            )  # (E, F)
+            head_outputs.append(ops.scatter_add_rows(messages, row_ids, n))
+        return self._combine_heads(head_outputs)
+
+    def _forward_dense(self, x: Tensor, adjacency_mask: np.ndarray) -> Tensor:
+        n = adjacency_mask.shape[0]
+        if adjacency_mask.shape != (n, n):
+            raise ValueError("adjacency_mask must be square")
+        allowed = adjacency_mask.astype(bool) | np.eye(n, dtype=bool)
+        head_outputs = []
+        for head in range(self.num_heads):
+            proj, attn_src, attn_dst = self._head_weights(head)
+            h = proj(x)
+            src_scores = h @ attn_src  # (n, 1)
+            dst_scores = h @ attn_dst  # (n, 1)
+            logits = src_scores + dst_scores.transpose()
+            logits = ops.leaky_relu(logits, self.negative_slope)
+            logits = ops.masked_fill(logits, ~allowed, _NEG_INF)
+            attention = ops.softmax(logits, axis=1)
+            head_outputs.append(attention @ h)
+        return self._combine_heads(head_outputs)
+
 
 class GAT(GNNModel):
-    """Two-layer GAT: multi-head concatenated hidden layer, averaged output."""
+    """Two-layer GAT: multi-head concatenated hidden layer, averaged output.
+
+    ``dense_attention=True`` restores the seed's dense ``N × N`` masked
+    attention; the default routes both layers through the sparse edge-wise
+    path (same outputs within floating-point round-off, O(E) work).
+    """
 
     def __init__(
         self,
@@ -125,12 +282,14 @@ class GAT(GNNModel):
         num_classes: int,
         num_heads: int = 2,
         dropout: float = 0.2,
+        dense_attention: bool = False,
         rng=None,
     ) -> None:
         super().__init__()
         if not 0.0 <= dropout < 1.0:
             raise ValueError(f"dropout must be in [0, 1), got {dropout}")
         self.dropout = dropout
+        self.dense_attention = bool(dense_attention)
         rng_a, rng_b, rng_drop = spawn_rngs(rng, 3)
         self._dropout_rng = rng_drop
         self.layer0 = GATLayer(
@@ -138,6 +297,7 @@ class GAT(GNNModel):
             hidden_features,
             num_heads=num_heads,
             concat_heads=True,
+            dense_attention=dense_attention,
             name="gat0",
             rng=rng_a,
         )
@@ -146,16 +306,22 @@ class GAT(GNNModel):
             num_classes,
             num_heads=1,
             concat_heads=False,
+            dense_attention=dense_attention,
             name="gat1",
             rng=rng_b,
         )
 
     def forward(self, batch: BatchInputs, rng: Optional[object] = None) -> Tensor:
         """Return per-node logits for the subgraph in ``batch``."""
-        mask = batch.adjacency.to_dense() > 0
+        if self.dense_attention:
+            adjacency: Union[CSRMatrix, np.ndarray] = (
+                batch.adjacency.to_dense() > 0
+            )
+        else:
+            adjacency = batch.adjacency
         rng = ensure_rng(rng) if rng is not None else self._dropout_rng
         x = Tensor(batch.features)
-        x = self.layer0(x, mask)
+        x = self.layer0(x, adjacency)
         x = ops.elu(x)
         x = ops.dropout(x, self.dropout, training=self.training, rng=rng)
-        return self.layer1(x, mask)
+        return self.layer1(x, adjacency)

@@ -25,6 +25,10 @@ When the strategy runs Algorithm 1 through the batched
 hit/miss and skipped-work counters are surfaced on
 :attr:`TimingBreakdown.components` (``mapping_cache_hits`` etc.), so the
 per-run timing record also documents how much mapping work was avoided.
+The same channel carries the hardware-state cache counters (``hw_*``) and
+the segment-reduce kernel counters (``kernel_*`` — reduceat scatter/gather
+calls, CSR transpose-memo hits) whenever a trainer has attached them to the
+strategy, for *every* strategy, not just FARe.
 """
 
 from __future__ import annotations
@@ -144,6 +148,12 @@ def estimate_execution_time(
 
     breakdown = TimingBreakdown(strategy=strategy.name, pipeline_time=pipeline_time)
     breakdown.components["stage_delay_s"] = stage_delay
+    # Cache/kernel counters flow for every strategy that has any attached
+    # (mapping_* from the cost engine, hw_* from the hardware-state cache,
+    # kernel_* from the segment-reduce kernel layer).
+    engine_stats = strategy.mapping_engine_stats()
+    if engine_stats:
+        breakdown.components.update(engine_stats)
 
     if strategy.uses_clipping:
         # One extra pipeline stage per epoch (depth N + S instead of N + S - 1).
@@ -154,9 +164,6 @@ def estimate_execution_time(
         breakdown.preprocessing_time = cost_model.mapping_preprocess_time_s(
             int(total_blocks), inputs.num_adjacency_crossbars
         )
-        engine_stats = strategy.mapping_engine_stats()
-        if engine_stats:
-            breakdown.components.update(engine_stats)
         if inputs.track_post_deployment:
             # BIST re-scan at the end of every epoch (~0.13 % of epoch time).
             breakdown.bist_time = (

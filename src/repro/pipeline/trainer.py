@@ -49,6 +49,7 @@ from repro.pipeline.mapping_engine import (
     HardwareEnvironment,
     WeightCrossbarMapper,
 )
+from repro.tensor.kernels import KernelStatsView
 from repro.tensor.optim import Adam, SGD
 from repro.tensor.tensor import no_grad
 from repro.utils.logging import get_logger
@@ -169,6 +170,13 @@ class FaultyTrainer:
         self._plans = None
         self._blocks_per_batch = None
         self._grids = None
+        # Delta view of the process-wide segment-reduce kernel counters;
+        # surfaces through Strategy.mapping_engine_stats() -> trainer
+        # counters -> timing components, like the cost-engine and hw-state
+        # cache stats.  train() re-baselines it so the reported numbers
+        # cover exactly that run even when several trainers are constructed
+        # up front.
+        self.strategy.attach_kernel_stats(KernelStatsView())
         self._preprocess()
 
     # ------------------------------------------------------------------ #
@@ -273,6 +281,10 @@ class FaultyTrainer:
             self.model.set_weight_transform(self._weight_transform)
         else:
             self.model.set_weight_transform(None)
+        # Re-baseline the kernel-counter view: anything another trainer (or
+        # this one's pre-processing) did since construction must not be
+        # attributed to this run.
+        self.strategy.attach_kernel_stats(KernelStatsView())
 
         for epoch in range(config.epochs):
             self.model.train()

@@ -7,6 +7,9 @@ substrate on top of numpy.  It exposes
   computation graph and supports ``backward()``;
 * :mod:`~repro.tensor.ops` — functional operations (dense and sparse matrix
   products, activations, softmax, dropout, reductions);
+* :mod:`~repro.tensor.kernels` — segment-reduce sparse kernels (``reduceat``
+  scatter/gather, CSR matmat/transpose, edge softmax) the sparse ops and the
+  graph layer build on;
 * :class:`~repro.tensor.module.Module` / :class:`~repro.tensor.module.Parameter`
   — layer containers with named parameters;
 * :mod:`~repro.tensor.optim` — SGD (with momentum) and Adam optimisers;
@@ -18,6 +21,7 @@ gradients in the test-suite.
 """
 
 from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor import kernels
 from repro.tensor import ops
 from repro.tensor.module import Module, Parameter, Sequential
 from repro.tensor.optim import SGD, Adam, Optimizer
@@ -26,6 +30,7 @@ from repro.tensor import init
 __all__ = [
     "Tensor",
     "no_grad",
+    "kernels",
     "ops",
     "Module",
     "Parameter",

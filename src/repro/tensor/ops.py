@@ -2,7 +2,9 @@
 
 These cover every operation used by the GNN layers and losses: activations,
 (log-)softmax, dropout, sparse-dense matrix products for the aggregation
-phase, masked fills for dense attention, and concatenation.
+phase, masked fills for dense attention, edge-wise gathers/softmax for sparse
+attention, and concatenation.  The sparse operations delegate their numeric
+work to the segment-reduce kernels in :mod:`repro.tensor.kernels`.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.tensor import kernels
 from repro.tensor.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import ensure_rng
 
@@ -202,24 +205,29 @@ def spmm(adjacency, x: Tensor) -> Tensor:
     sparse matrix, or a dense numpy array.  The adjacency is treated as a
     constant (no gradient is computed for it), matching the paper where the
     graph structure is data rather than a trainable parameter.
+
+    The backward graph is built lazily: the transpose is only materialised
+    inside the backward closure, so evaluation/``no_grad`` forwards (and
+    forwards on inputs that do not require gradients) never pay for it.  For
+    a :class:`~repro.graph.sparse.CSRMatrix` the first backward populates the
+    matrix's memoised ``.T``, so every later batch re-uses it for free.
     """
-    a_dense_t = None
-    if hasattr(adjacency, "dot") and hasattr(adjacency, "transpose"):
+    is_sparse = hasattr(adjacency, "dot") and hasattr(adjacency, "transpose")
+    if is_sparse:
         forward = adjacency.dot(x.data)
-        transposed = adjacency.transpose()
     else:
-        dense = np.asarray(adjacency, dtype=np.float64)
-        forward = dense @ x.data
-        a_dense_t = dense.T
-        transposed = None
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        forward = adjacency @ x.data
 
     def _backward() -> None:
         if not x.requires_grad:
             return
-        if transposed is not None:
-            x._accumulate(transposed.dot(out.grad))
+        if is_sparse:
+            # CSRMatrix.transpose() returns the memoised .T, so repeated
+            # backwards over the same adjacency build the transpose once.
+            x._accumulate(adjacency.transpose().dot(out.grad))
         else:
-            x._accumulate(a_dense_t @ out.grad)
+            x._accumulate(adjacency.T @ out.grad)
 
     out = _wrap(np.asarray(forward, dtype=np.float64), (x,), _backward, x.requires_grad)
     return out
@@ -271,19 +279,78 @@ def scatter_add_rows(x: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     """Sum rows of ``x`` into ``num_rows`` buckets given by ``index``.
 
     ``out[i] = sum_{j : index[j] == i} x[j]``.  Used for neighbourhood
-    aggregation over edge lists (GraphSAGE mean aggregation).
+    aggregation over edge lists (GraphSAGE mean aggregation, sparse GAT).
+    The reduction runs through :func:`repro.tensor.kernels.segment_sum`
+    (sort + ``reduceat``) instead of the seed's un-buffered ``np.add.at``.
     """
     index = np.asarray(index, dtype=np.int64)
     if index.ndim != 1 or index.shape[0] != x.data.shape[0]:
         raise ValueError("index must be 1-D with one entry per row of x")
-    out_data = np.zeros((num_rows,) + x.data.shape[1:], dtype=np.float64)
-    np.add.at(out_data, index, x.data)
+    out_data = kernels.segment_sum(x.data, index, num_rows)
 
     def _backward() -> None:
         if x.requires_grad:
             x._accumulate(out.grad[index])
 
     out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def gather_rows(
+    x: Tensor,
+    index: np.ndarray,
+    scatter_plan: Optional["kernels.SegmentPlan"] = None,
+) -> Tensor:
+    """Gather rows: ``out[k] = x[index[k]]`` (rows may repeat).
+
+    The backward pass scatter-adds the gradient back through
+    :func:`repro.tensor.kernels.segment_sum`, which hits the sorted fast
+    path for CSR-ordered edge gathers.  Callers gathering repeatedly
+    through the same unsorted index (sparse GAT's edge columns) can pass a
+    precomputed :func:`repro.tensor.kernels.segment_plan` so the backward
+    sort is amortised.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_data = kernels.gather_rows(x.data, index)
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(
+                kernels.segment_sum(
+                    out.grad, index, x.data.shape[0], plan=scatter_plan
+                )
+            )
+
+    out = _wrap(out_data, (x,), _backward, x.requires_grad)
+    return out
+
+
+def edge_softmax(
+    scores: Tensor,
+    indptr: np.ndarray,
+    row_ids: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Softmax over CSR edge segments (each destination row sums to one).
+
+    ``scores`` holds one logit per stored edge in CSR order (``(E,)`` or
+    ``(E, H)``); ``indptr`` delimits the edge slice of every destination
+    row.  This is the sparse replacement for the dense
+    ``masked_fill`` + ``softmax`` attention path of GAT.  ``row_ids`` may be
+    passed to reuse an existing :func:`repro.tensor.kernels.csr_row_ids`
+    expansion in both the forward and backward pass.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    alpha = kernels.edge_softmax(scores.data, indptr, row_ids=row_ids)
+
+    def _backward() -> None:
+        if scores.requires_grad:
+            scores._accumulate(
+                kernels.edge_softmax_backward(
+                    alpha, out.grad, indptr, row_ids=row_ids
+                )
+            )
+
+    out = _wrap(alpha, (scores,), _backward, scores.requires_grad)
     return out
 
 
