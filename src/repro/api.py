@@ -1,6 +1,6 @@
 """High-level convenience API.
 
-Most users only need two calls:
+Most users only need three calls:
 
 * :func:`train_on_faulty_hardware` — train one GNN on one (synthetic
   surrogate) dataset under one fault-handling strategy and fault scenario,
@@ -8,9 +8,13 @@ Most users only need two calls:
 * :func:`compare_strategies` — run several strategies on the same graph and
   the same injected faults and return their results side by side (the shape
   of the paper's Fig. 5/6 comparisons).
+* :func:`run_sweep` — execute a whole (strategy × density × seed × …) grid
+  through the declarative sweep engine: shared preprocessing artifacts,
+  optional process-parallel execution and an optional persistent on-disk
+  result store (see :mod:`repro.experiments.sweeps`).
 
-Both are thin wrappers over :mod:`repro.experiments.runner`, which the
-benchmark harness uses directly.
+All are thin wrappers over :mod:`repro.experiments`, which the benchmark
+harness uses directly.
 """
 
 from __future__ import annotations
@@ -106,3 +110,64 @@ def compare_strategies(
             epochs=epochs,
         )
     return results
+
+
+def run_sweep(
+    datasets: Iterable[Tuple[str, str]] = (("reddit", "gcn"),),
+    strategies: Iterable[str] = ("fault_free", "fault_unaware", "nr", "clipping", "fare"),
+    fault_densities: Iterable[float] = (0.01, 0.03, 0.05),
+    sa_ratio: Tuple[float, float] = (9.0, 1.0),
+    seeds: Iterable[int] = (0,),
+    scale: str = "ci",
+    epochs: Optional[int] = None,
+    max_workers: int = 1,
+    use_store: bool = False,
+):
+    """Execute a (workload × strategy × density × seed) grid declaratively.
+
+    Returns a :class:`~repro.experiments.sweeps.SweepResult`: a mapping from
+    each grid cell's canonical :class:`~repro.experiments.sweeps.RunSpec` to
+    its :class:`~repro.pipeline.trainer.TrainingResult`.  Preprocessing
+    artifacts (dataset, partition, block decomposition, BIST scan, mapping
+    plans) are shared across cells; ``max_workers > 1`` distributes whole
+    workload groups over spawned processes (results are keyed by spec, so
+    parallel and serial execution are bit-identical); ``use_store=True``
+    persists results under ``benchmarks/results/runcache/`` keyed by the
+    run-signature hash, so repeated sweeps skip finished cells across
+    sessions.
+
+    Example — a multi-seed accuracy sweep with error bars::
+
+        from repro.api import run_sweep
+        from repro.experiments.tables import mean_std
+
+        sweep = run_sweep(strategies=("fault_unaware", "fare"),
+                          fault_densities=(0.05,), seeds=(0, 1, 2))
+        by_strategy = {}
+        for spec, result in sweep.results.items():
+            by_strategy.setdefault(spec.strategy, []).append(
+                result.final_test_accuracy)
+        for strategy, accs in by_strategy.items():
+            print(f"{strategy:14s} {mean_std(accs)}")
+    """
+    from repro.experiments.sweeps import (
+        ResultStore,
+        SweepEngine,
+        SweepPlan,
+        default_engine,
+    )
+
+    plan = SweepPlan.grid(
+        datasets=list(datasets),
+        strategies=list(strategies),
+        fault_densities=list(fault_densities),
+        sa_ratio=sa_ratio,
+        seeds=list(seeds),
+        scale=scale,
+        epochs=epochs,
+    )
+    # Store-less sweeps share the process-wide engine (one memo + artifact
+    # cache with run_single/compare_strategies and the figure drivers);
+    # opting into persistence gets a dedicated store-backed engine.
+    engine = SweepEngine(store=ResultStore()) if use_store else default_engine()
+    return engine.run(plan, max_workers=max_workers)

@@ -30,7 +30,7 @@ Implemented strategies (paper Section V):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -104,6 +104,26 @@ class Strategy:
     ) -> List[BatchMapping]:
         """React to a post-deployment BIST re-scan (no-op by default)."""
         return plans
+
+    def plan_signature(self) -> Optional[Tuple]:
+        """Content key of :meth:`plan_adjacency`'s output, or ``None``.
+
+        Two strategy instances whose signatures compare equal produce
+        identical plans from identical ``(blocks, fault maps, crossbar ids,
+        rows)`` inputs — what the sweep engine's shared-plan artifact keys on
+        (the plan is independent of the model and of knobs like clipping
+        thresholds, so e.g. fault-unaware and clipping-only share one
+        sequential plan).  ``None`` opts out of sharing.
+
+        Safe by construction: the ``("sequential",)`` key is only reported
+        when the class genuinely inherits this base sequential planner.  A
+        subclass that overrides :meth:`plan_adjacency` gets ``None`` — no
+        sharing — until it declares its own signature covering every knob
+        its planning depends on.
+        """
+        if type(self).plan_adjacency is not Strategy.plan_adjacency:
+            return None
+        return ("sequential",)
 
     # ------------------------------------------------------------------ #
     # Combination phase
@@ -183,6 +203,10 @@ class FaultFreeStrategy(Strategy):
     name = "fault_free"
     requires_hardware = False
 
+    def plan_signature(self) -> Optional[Tuple]:
+        """No hardware, no adjacency plan."""
+        return None
+
 
 class FaultUnawareStrategy(Strategy):
     """Naive training on faulty hardware without any mitigation."""
@@ -239,6 +263,17 @@ class NeuronReorderingStrategy(Strategy):
         self.group_size = int(group_size)
         self.method = method
         self._weight_permutations: Dict[str, np.ndarray] = {}
+
+    def plan_signature(self) -> Optional[Tuple]:
+        # Same guard as the base class: a subclass overriding the planning
+        # must declare its own signature before its plans may be shared.
+        if (
+            type(self).plan_adjacency is not NeuronReorderingStrategy.plan_adjacency
+            or type(self)._group_permutation
+            is not NeuronReorderingStrategy._group_permutation
+        ):
+            return None
+        return ("nr", self.group_size, self.method)
 
     # -- aggregation ---------------------------------------------------- #
     def plan_adjacency(
@@ -384,6 +419,21 @@ class FaReStrategy(Strategy):
         )
 
     # -- aggregation ---------------------------------------------------- #
+    def plan_signature(self) -> Optional[Tuple]:
+        # Same guard as the base class: a subclass overriding the planning
+        # must declare its own signature before its plans may be shared.
+        if type(self).plan_adjacency is not FaReStrategy.plan_adjacency:
+            return None
+        mapper = self.mapper
+        return (
+            "fare",
+            mapper.sa1_weight,
+            mapper.row_method,
+            mapper.assignment_method,
+            mapper.prune_crossbars,
+            mapper.relax_sparsest_block,
+        )
+
     def plan_adjacency(
         self,
         blocks_per_batch: Sequence[Sequence[np.ndarray]],

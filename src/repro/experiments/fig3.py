@@ -7,15 +7,36 @@ the final test accuracy against the fault-free model.  The expected shape:
 
 * faults in either phase hurt accuracy (motivating mitigation in both),
 * SA1-only faults hurt substantially more than SA0-only faults.
+
+The grid is declared as a :class:`~repro.experiments.sweeps.SweepPlan`
+(:func:`plan_fig3`) and executed through the sweep engine; use
+:func:`run_fig3_seeds` for seed-replicated results with error bars.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import run_single
+from repro.experiments.sweeps import (
+    RunSpec,
+    SweepEngine,
+    SweepPlan,
+    default_engine,
+    run_seed_replicates,
+)
 from repro.utils.tabulate import format_table
+
+#: The four faulted cells of Fig. 3: (region, label, SA0:SA1 ratio).
+FIG3_CELLS: Tuple[Tuple[str, str, Tuple[float, float]], ...] = (
+    ("weights", "SA0 only", (1.0, 0.0)),
+    ("weights", "SA1 only", (0.0, 1.0)),
+    ("adjacency", "SA0 only", (1.0, 0.0)),
+    ("adjacency", "SA1 only", (0.0, 1.0)),
+)
+
+#: Column headers matching :meth:`Fig3Result.rows` (shared with the CLI).
+FIG3_HEADERS: Tuple[str, ...] = ("Faulted matrix", "Fault type", "Test accuracy")
 
 
 @dataclass(frozen=True)
@@ -35,6 +56,49 @@ class Fig3Result:
         return rows
 
 
+def _fig3_specs(
+    dataset: str,
+    model: str,
+    fault_density: float,
+    scale: str,
+    seed: int,
+    epochs: Optional[int],
+) -> Dict[Optional[Tuple[str, str]], RunSpec]:
+    """Specs keyed by figure cell (``None`` is the fault-free reference)."""
+    specs: Dict[Optional[Tuple[str, str]], RunSpec] = {
+        None: RunSpec.make(
+            dataset, model, "fault_free", 0.0, scale=scale, seed=seed, epochs=epochs
+        )
+    }
+    for region, fault_type, ratio in FIG3_CELLS:
+        specs[(region, fault_type)] = RunSpec.make(
+            dataset,
+            model,
+            "fault_unaware",
+            fault_density,
+            sa_ratio=ratio,
+            scale=scale,
+            seed=seed,
+            epochs=epochs,
+            fault_region=region,
+        )
+    return specs
+
+
+def plan_fig3(
+    dataset: str = "amazon2m",
+    model: str = "sage",
+    fault_density: float = 0.05,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> SweepPlan:
+    """The Fig. 3 grid as a declarative plan."""
+    return SweepPlan(
+        _fig3_specs(dataset, model, fault_density, scale, seed, epochs).values()
+    )
+
+
 def run_fig3(
     dataset: str = "amazon2m",
     model: str = "sage",
@@ -42,38 +106,36 @@ def run_fig3(
     scale: str = "ci",
     seed: int = 0,
     epochs: int = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3 (per-phase SA0/SA1 sensitivity)."""
-    fault_free = run_single(
-        dataset, model, "fault_free", 0.0, scale=scale, seed=seed, epochs=epochs
-    )
-    accuracies: Dict[Tuple[str, str], float] = {}
-    for region in ("weights", "adjacency"):
-        for fault_type, ratio in (("SA0 only", (1.0, 0.0)), ("SA1 only", (0.0, 1.0))):
-            result = run_single(
-                dataset,
-                model,
-                "fault_unaware",
-                fault_density,
-                sa_ratio=ratio,
-                scale=scale,
-                seed=seed,
-                epochs=epochs,
-                fault_region=region,
-            )
-            accuracies[(region, fault_type)] = result.final_test_accuracy
+    if engine is None:
+        engine = default_engine()
+    specs = _fig3_specs(dataset, model, fault_density, scale, seed, epochs)
+    results = engine.run(SweepPlan(specs.values()))
     return Fig3Result(
         dataset=dataset,
         model=model,
         fault_density=fault_density,
-        fault_free_accuracy=fault_free.final_test_accuracy,
-        accuracies=accuracies,
+        fault_free_accuracy=results[specs[None]].final_test_accuracy,
+        accuracies={
+            cell: results[spec].final_test_accuracy
+            for cell, spec in specs.items()
+            if cell is not None
+        },
     )
+
+
+def run_fig3_seeds(
+    seeds: Sequence[int] = (0, 1, 2), **kwargs
+) -> Dict[int, Fig3Result]:
+    """Seed-replicated Fig. 3 (one engine pass over the union grid)."""
+    return run_seed_replicates(plan_fig3, run_fig3, seeds, **kwargs)
 
 
 def format_fig3(result: Fig3Result) -> str:
     return format_table(
-        ["Faulted matrix", "Fault type", "Test accuracy"],
+        list(FIG3_HEADERS),
         result.rows(),
         title=(
             f"Fig. 3 — {result.dataset} ({result.model.upper()}), "

@@ -5,16 +5,29 @@ density (SA0:SA1 = 9:1) and plots the per-epoch training accuracy of the
 fault-unaware implementation (panel a) and of FARe (panel b) against the
 fault-free curve.  The expected shape: the fault-unaware curves are depressed
 and unstable, while the FARe curves overlap the fault-free one.
+
+The (strategy × fault density) grid is declared as a
+:class:`~repro.experiments.sweeps.SweepPlan` (:func:`plan_fig4`); the sweep
+benchmark gates the engine's cold wall-clock on exactly this grid shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.configs import FIG5_FAULT_DENSITIES, SA_RATIO_9_1
-from repro.experiments.runner import run_single
+from repro.experiments.sweeps import (
+    RunSpec,
+    SweepEngine,
+    SweepPlan,
+    default_engine,
+    run_seed_replicates,
+)
 from repro.utils.tabulate import format_table
+
+#: Column headers matching :meth:`Fig4Result.rows`.
+FIG4_SUMMARY_HEADERS = ["Strategy", "Density", "Final train accuracy", "Gap to fault-free"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +46,68 @@ class Fig4Result:
         curves = self.fault_unaware_curves if panel == "fault_unaware" else self.fare_curves
         return self.fault_free_curve[-1] - curves[density][-1]
 
+    def rows(self) -> List[List]:
+        """Final-epoch summary rows (see :data:`FIG4_SUMMARY_HEADERS`).
+
+        The per-epoch curves stay in :func:`format_fig4`; these rows are the
+        seed-aggregatable form used for mean±std error bars.
+        """
+        rows: List[List] = [["fault-free", "-", self.fault_free_curve[-1], 0.0]]
+        for panel, curves in (
+            ("fault_unaware", self.fault_unaware_curves),
+            ("fare", self.fare_curves),
+        ):
+            for density in self.densities:
+                rows.append(
+                    [panel, f"{density:.0%}", curves[density][-1], self.final_gap(panel, density)]
+                )
+        return rows
+
+
+def _fig4_specs(
+    dataset: str,
+    model: str,
+    densities: Sequence[float],
+    sa_ratio: Tuple[float, float],
+    scale: str,
+    seed: int,
+    epochs: Optional[int],
+) -> Dict[Tuple[str, float], RunSpec]:
+    """Specs keyed by (strategy, density); the reference keys on density 0."""
+    specs: Dict[Tuple[str, float], RunSpec] = {
+        ("fault_free", 0.0): RunSpec.make(
+            dataset, model, "fault_free", 0.0, scale=scale, seed=seed, epochs=epochs
+        )
+    }
+    for density in densities:
+        for strategy in ("fault_unaware", "fare"):
+            specs[(strategy, density)] = RunSpec.make(
+                dataset,
+                model,
+                strategy,
+                density,
+                sa_ratio=sa_ratio,
+                scale=scale,
+                seed=seed,
+                epochs=epochs,
+            )
+    return specs
+
+
+def plan_fig4(
+    dataset: str = "reddit",
+    model: str = "gcn",
+    densities: Tuple[float, ...] = FIG5_FAULT_DENSITIES,
+    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> SweepPlan:
+    """The Fig. 4 grid as a declarative plan."""
+    return SweepPlan(
+        _fig4_specs(dataset, model, densities, sa_ratio, scale, seed, epochs).values()
+    )
+
 
 def run_fig4(
     dataset: str = "reddit",
@@ -42,32 +117,36 @@ def run_fig4(
     scale: str = "ci",
     seed: int = 0,
     epochs: int = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig4Result:
     """Regenerate both panels of Fig. 4."""
-    fault_free = run_single(
-        dataset, model, "fault_free", 0.0, scale=scale, seed=seed, epochs=epochs
-    )
-    fault_unaware_curves: Dict[float, List[float]] = {}
-    fare_curves: Dict[float, List[float]] = {}
-    for density in densities:
-        unaware = run_single(
-            dataset, model, "fault_unaware", density,
-            sa_ratio=sa_ratio, scale=scale, seed=seed, epochs=epochs,
-        )
-        fare = run_single(
-            dataset, model, "fare", density,
-            sa_ratio=sa_ratio, scale=scale, seed=seed, epochs=epochs,
-        )
-        fault_unaware_curves[density] = list(unaware.train_accuracy_history)
-        fare_curves[density] = list(fare.train_accuracy_history)
+    if engine is None:
+        engine = default_engine()
+    specs = _fig4_specs(dataset, model, densities, sa_ratio, scale, seed, epochs)
+    results = engine.run(SweepPlan(specs.values()))
     return Fig4Result(
         dataset=dataset,
         model=model,
         densities=tuple(densities),
-        fault_free_curve=list(fault_free.train_accuracy_history),
-        fault_unaware_curves=fault_unaware_curves,
-        fare_curves=fare_curves,
+        fault_free_curve=list(
+            results[specs[("fault_free", 0.0)]].train_accuracy_history
+        ),
+        fault_unaware_curves={
+            density: list(results[specs[("fault_unaware", density)]].train_accuracy_history)
+            for density in densities
+        },
+        fare_curves={
+            density: list(results[specs[("fare", density)]].train_accuracy_history)
+            for density in densities
+        },
     )
+
+
+def run_fig4_seeds(
+    seeds: Sequence[int] = (0, 1, 2), **kwargs
+) -> Dict[int, Fig4Result]:
+    """Seed-replicated Fig. 4 (one engine pass over the union grid)."""
+    return run_seed_replicates(plan_fig4, run_fig4, seeds, **kwargs)
 
 
 def format_fig4(result: Fig4Result) -> str:

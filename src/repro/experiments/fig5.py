@@ -8,12 +8,17 @@ and 1:1 (panel b) SA0:SA1 ratios.  The expected shape:
 * NR and clipping-only recover part of it,
 * FARe stays within ~1 % (9:1) / ~1.1 % (1:1) of the fault-free accuracy,
 * every method's drop is larger under the 1:1 ratio (more SA1 faults).
+
+The full (workload × density × strategy) grid is one
+:class:`~repro.experiments.sweeps.SweepPlan` (:func:`plan_fig5`): the engine
+de-duplicates the fault-free baselines across panels and shares preprocessing
+and mapping plans across strategies and models of the same workload.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.configs import (
     COMPARED_STRATEGIES,
@@ -22,8 +27,17 @@ from repro.experiments.configs import (
     SA_RATIO_1_1,
     SA_RATIO_9_1,
 )
-from repro.experiments.runner import run_single
+from repro.experiments.sweeps import (
+    RunSpec,
+    SweepEngine,
+    SweepPlan,
+    default_engine,
+    run_seed_replicates,
+)
 from repro.utils.tabulate import format_table
+
+#: Column headers matching :meth:`Fig5Result.rows` (shared with the CLI).
+FIG5_HEADERS: Tuple[str, ...] = ("Workload", "Density") + tuple(COMPARED_STRATEGIES)
 
 
 @dataclass
@@ -54,26 +68,22 @@ class Fig5Result:
         return rows
 
 
-def run_fig5(
-    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
-    densities: Sequence[float] = FIG5_FAULT_DENSITIES,
-    pairs: Sequence[Tuple[str, str]] = FIG5_PAIRS,
-    strategies: Sequence[str] = COMPARED_STRATEGIES,
-    scale: str = "ci",
-    seed: int = 0,
-    epochs: int = None,
-) -> Fig5Result:
-    """Regenerate one panel of Fig. 5 (choose the panel via ``sa_ratio``)."""
-    result = Fig5Result(
-        sa_ratio=tuple(sa_ratio),
-        densities=tuple(densities),
-        pairs=tuple(tuple(p) for p in pairs),
-    )
-    for dataset, model in result.pairs:
-        for density in result.densities:
+def _fig5_specs(
+    sa_ratio: Tuple[float, float],
+    densities: Sequence[float],
+    pairs: Sequence[Tuple[str, str]],
+    strategies: Sequence[str],
+    scale: str,
+    seed: int,
+    epochs: Optional[int],
+) -> Dict[Tuple[str, str, float, str], RunSpec]:
+    """Specs keyed by the figure's (dataset, model, density, strategy) cell."""
+    specs: Dict[Tuple[str, str, float, str], RunSpec] = {}
+    for dataset, model in pairs:
+        for density in densities:
             for strategy in strategies:
                 effective_density = 0.0 if strategy == "fault_free" else density
-                run = run_single(
+                specs[(dataset, model, density, strategy)] = RunSpec.make(
                     dataset,
                     model,
                     strategy,
@@ -83,10 +93,56 @@ def run_fig5(
                     seed=seed,
                     epochs=epochs,
                 )
-                result.accuracies[(dataset, model, density, strategy)] = (
-                    run.final_test_accuracy
-                )
+    return specs
+
+
+def plan_fig5(
+    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
+    densities: Sequence[float] = FIG5_FAULT_DENSITIES,
+    pairs: Sequence[Tuple[str, str]] = FIG5_PAIRS,
+    strategies: Sequence[str] = COMPARED_STRATEGIES,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> SweepPlan:
+    """One panel of Fig. 5 as a declarative plan."""
+    return SweepPlan(
+        _fig5_specs(
+            sa_ratio, densities, pairs, strategies, scale, seed, epochs
+        ).values()
+    )
+
+
+def run_fig5(
+    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
+    densities: Sequence[float] = FIG5_FAULT_DENSITIES,
+    pairs: Sequence[Tuple[str, str]] = FIG5_PAIRS,
+    strategies: Sequence[str] = COMPARED_STRATEGIES,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+    engine: Optional[SweepEngine] = None,
+) -> Fig5Result:
+    """Regenerate one panel of Fig. 5 (choose the panel via ``sa_ratio``)."""
+    if engine is None:
+        engine = default_engine()
+    specs = _fig5_specs(sa_ratio, densities, pairs, strategies, scale, seed, epochs)
+    results = engine.run(SweepPlan(specs.values()))
+    result = Fig5Result(
+        sa_ratio=tuple(sa_ratio),
+        densities=tuple(densities),
+        pairs=tuple(tuple(p) for p in pairs),
+    )
+    for cell, spec in specs.items():
+        result.accuracies[cell] = results[spec].final_test_accuracy
     return result
+
+
+def run_fig5_seeds(
+    seeds: Sequence[int] = (0, 1, 2), **kwargs
+) -> Dict[int, Fig5Result]:
+    """Seed-replicated Fig. 5 panel (one engine pass over the union grid)."""
+    return run_seed_replicates(plan_fig5, run_fig5, seeds, **kwargs)
 
 
 def run_fig5a(**kwargs) -> Fig5Result:
@@ -101,9 +157,8 @@ def run_fig5b(**kwargs) -> Fig5Result:
 
 def format_fig5(result: Fig5Result) -> str:
     ratio = f"{result.sa_ratio[0]:.0f}:{result.sa_ratio[1]:.0f}"
-    headers = ["Workload", "Density"] + [s for s in COMPARED_STRATEGIES]
     return format_table(
-        headers,
+        list(FIG5_HEADERS),
         result.rows(),
         title=f"Fig. 5 — test accuracy, SA0:SA1 = {ratio}",
     )

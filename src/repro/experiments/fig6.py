@@ -5,12 +5,18 @@ an additional 1 % of post-deployment faults injected uniformly across the
 training epochs (worst case), for both SA0:SA1 ratios.  The expected shape
 mirrors Fig. 5: FARe stays within ~2 % of fault-free while NR loses up to
 ~15 %.
+
+Declared as a :class:`~repro.experiments.sweeps.SweepPlan`
+(:func:`plan_fig6`).  Post-deployment runs share graph-side preprocessing and
+the *initial* mapping plans like every other run; the per-epoch re-scans and
+plan refreshes stay run-local (they mutate only the run's own rebuilt
+hardware state).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.configs import (
     COMPARED_STRATEGIES,
@@ -20,8 +26,17 @@ from repro.experiments.configs import (
     SA_RATIO_1_1,
     SA_RATIO_9_1,
 )
-from repro.experiments.runner import run_single
+from repro.experiments.sweeps import (
+    RunSpec,
+    SweepEngine,
+    SweepPlan,
+    default_engine,
+    run_seed_replicates,
+)
 from repro.utils.tabulate import format_table
+
+#: Column headers matching :meth:`Fig6Result.rows` (shared with the CLI).
+FIG6_HEADERS: Tuple[str, ...] = ("Workload", "Density") + tuple(COMPARED_STRATEGIES)
 
 
 @dataclass
@@ -52,6 +67,62 @@ class Fig6Result:
         return rows
 
 
+def _fig6_specs(
+    sa_ratio: Tuple[float, float],
+    densities: Sequence[float],
+    pairs: Sequence[Tuple[str, str]],
+    strategies: Sequence[str],
+    post_deployment_extra: float,
+    scale: str,
+    seed: int,
+    epochs: Optional[int],
+) -> Dict[Tuple[str, str, float, str], RunSpec]:
+    specs: Dict[Tuple[str, str, float, str], RunSpec] = {}
+    for dataset, model in pairs:
+        for density in densities:
+            for strategy in strategies:
+                is_reference = strategy == "fault_free"
+                specs[(dataset, model, density, strategy)] = RunSpec.make(
+                    dataset,
+                    model,
+                    strategy,
+                    0.0 if is_reference else density,
+                    sa_ratio=sa_ratio,
+                    scale=scale,
+                    seed=seed,
+                    epochs=epochs,
+                    post_deployment_extra=(
+                        None if is_reference else post_deployment_extra
+                    ),
+                )
+    return specs
+
+
+def plan_fig6(
+    sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
+    densities: Sequence[float] = FIG6_FAULT_DENSITIES,
+    pairs: Sequence[Tuple[str, str]] = FIG6_PAIRS,
+    strategies: Sequence[str] = COMPARED_STRATEGIES,
+    post_deployment_extra: float = FIG6_POST_DEPLOYMENT_EXTRA,
+    scale: str = "ci",
+    seed: int = 0,
+    epochs: int = None,
+) -> SweepPlan:
+    """One panel of Fig. 6 as a declarative plan."""
+    return SweepPlan(
+        _fig6_specs(
+            sa_ratio,
+            densities,
+            pairs,
+            strategies,
+            post_deployment_extra,
+            scale,
+            seed,
+            epochs,
+        ).values()
+    )
+
+
 def run_fig6(
     sa_ratio: Tuple[float, float] = SA_RATIO_9_1,
     densities: Sequence[float] = FIG6_FAULT_DENSITIES,
@@ -61,33 +132,38 @@ def run_fig6(
     scale: str = "ci",
     seed: int = 0,
     epochs: int = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig6Result:
     """Regenerate one panel of Fig. 6 (choose the panel via ``sa_ratio``)."""
+    if engine is None:
+        engine = default_engine()
+    specs = _fig6_specs(
+        sa_ratio,
+        densities,
+        pairs,
+        strategies,
+        post_deployment_extra,
+        scale,
+        seed,
+        epochs,
+    )
+    results = engine.run(SweepPlan(specs.values()))
     result = Fig6Result(
         sa_ratio=tuple(sa_ratio),
         densities=tuple(densities),
         pairs=tuple(tuple(p) for p in pairs),
         post_deployment_extra=post_deployment_extra,
     )
-    for dataset, model in result.pairs:
-        for density in result.densities:
-            for strategy in strategies:
-                is_reference = strategy == "fault_free"
-                run = run_single(
-                    dataset,
-                    model,
-                    strategy,
-                    0.0 if is_reference else density,
-                    sa_ratio=sa_ratio,
-                    scale=scale,
-                    seed=seed,
-                    epochs=epochs,
-                    post_deployment_extra=None if is_reference else post_deployment_extra,
-                )
-                result.accuracies[(dataset, model, density, strategy)] = (
-                    run.final_test_accuracy
-                )
+    for cell, spec in specs.items():
+        result.accuracies[cell] = results[spec].final_test_accuracy
     return result
+
+
+def run_fig6_seeds(
+    seeds: Sequence[int] = (0, 1, 2), **kwargs
+) -> Dict[int, Fig6Result]:
+    """Seed-replicated Fig. 6 panel (one engine pass over the union grid)."""
+    return run_seed_replicates(plan_fig6, run_fig6, seeds, **kwargs)
 
 
 def run_fig6a(**kwargs) -> Fig6Result:
@@ -102,9 +178,8 @@ def run_fig6b(**kwargs) -> Fig6Result:
 
 def format_fig6(result: Fig6Result) -> str:
     ratio = f"{result.sa_ratio[0]:.0f}:{result.sa_ratio[1]:.0f}"
-    headers = ["Workload", "Density"] + [s for s in COMPARED_STRATEGIES]
     return format_table(
-        headers,
+        list(FIG6_HEADERS),
         result.rows(),
         title=(
             f"Fig. 6 — test accuracy with pre+post-deployment faults, "

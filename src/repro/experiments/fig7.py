@@ -30,6 +30,12 @@ from repro.utils.tabulate import format_table
 #: Strategies shown in Fig. 7, in presentation order.
 FIG7_STRATEGIES: Tuple[str, ...] = ("fault_free", "nr", "clipping", "fare")
 
+#: Column headers matching :meth:`Fig7Result.rows` (shared with the
+#: ``python -m repro.experiments`` CLI).  Fig. 7 is the one figure that needs
+#: no training sweep: it is fully analytical and seed-independent, so the CLI
+#: runs it once regardless of the requested seed axis.
+FIG7_HEADERS: Tuple[str, ...] = ("Workload",) + FIG7_STRATEGIES
+
 
 @dataclass
 class Fig7Result:
@@ -92,7 +98,7 @@ def run_fig7(
 
 
 def format_fig7(result: Fig7Result) -> str:
-    headers = ["Workload"] + list(FIG7_STRATEGIES)
+    headers = list(FIG7_HEADERS)
     return format_table(
         headers,
         result.rows(),

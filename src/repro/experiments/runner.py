@@ -1,94 +1,61 @@
-"""Shared experiment runner.
+"""Shared experiment runner — compatibility shim over the sweep engine.
 
-:func:`run_single` is the single entry point every figure driver (and the
-public API) uses: it builds the synthetic dataset, the hardware environment
-with injected faults, the strategy, and the trainer — then runs training and
-returns the :class:`~repro.pipeline.trainer.TrainingResult`.
+:func:`run_single` is the historical single-run entry point every figure
+driver (and the public API) used.  Since the declarative sweep refactor it is
+a thin wrapper that builds one canonical
+:class:`~repro.experiments.sweeps.RunSpec` and executes it through the
+module-level :class:`~repro.experiments.sweeps.SweepEngine`
+(:data:`DEFAULT_ENGINE`) — the same engine the figure drivers hand their
+:class:`~repro.experiments.sweeps.SweepPlan` grids to, so ad-hoc
+``run_single`` calls and declarative sweeps share one LRU-bounded result
+memo and one artifact cache.
 
-Results are memoised in-process keyed by every argument that affects the
-outcome, so fault-free baselines and repeated configurations (shared between
-Fig. 4/5/6 and the headline numbers) are only trained once per session.
+The engine keeps no on-disk store by default (session-only memoisation, like
+the seed runner); pass a store-backed engine to the figure drivers or use
+``python -m repro.experiments`` for cross-session persistence.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.core.strategies import build_strategy
-from repro.experiments import configs
-from repro.graph.datasets import load_dataset
-from repro.hardware.endurance import PostDeploymentSchedule
-from repro.hardware.faults import FaultModel
-from repro.hardware.quantization import FixedPointFormat
-from repro.pipeline.mapping_engine import HardwareEnvironment
-from repro.pipeline.trainer import FaultyTrainer, TrainingResult
-from repro.utils.logging import get_logger
+from repro.experiments.sweeps import (
+    RunSpec,
+    SweepEngine,
+    SweepPlan,
+    build_hardware,
+    execute_spec,
+)
+from repro.pipeline.trainer import TrainingResult
 
-logger = get_logger("experiments.runner")
+__all__ = [
+    "DEFAULT_ENGINE",
+    "build_hardware",
+    "cache_size",
+    "cache_stats",
+    "clear_cache",
+    "run_single",
+]
 
-#: In-process result cache (keyed by the full run signature).
-_RESULT_CACHE: Dict[Tuple, TrainingResult] = {}
+#: Process-wide engine shared by ``run_single`` and the figure drivers:
+#: LRU-capped result memo (the seed runner's unbounded in-process dict,
+#: now bounded and instrumented) + shared preprocessing artifacts.
+DEFAULT_ENGINE = SweepEngine(store=None, memo_capacity=256)
 
 
 def clear_cache() -> None:
-    """Drop all memoised results (used by tests)."""
-    _RESULT_CACHE.clear()
+    """Drop all memoised results and shared artifacts (used by tests)."""
+    DEFAULT_ENGINE.clear_memo()
 
 
 def cache_size() -> int:
     """Number of memoised training runs."""
-    return len(_RESULT_CACHE)
+    return DEFAULT_ENGINE.memo_size()
 
 
-def build_hardware(
-    scale: str,
-    fault_density: float,
-    sa_ratio: Tuple[float, float],
-    seed: int,
-    fault_region: str = "both",
-) -> HardwareEnvironment:
-    """Create a :class:`HardwareEnvironment` with injected pre-deployment faults.
-
-    Parameters
-    ----------
-    fault_region:
-        ``'both'`` (default) injects faults everywhere; ``'weights'`` or
-        ``'adjacency'`` clears the fault maps of the other region — used by
-        the Fig. 3 per-phase sensitivity study.
-    """
-    if fault_region not in ("both", "weights", "adjacency"):
-        raise ValueError(
-            f"fault_region must be 'both', 'weights' or 'adjacency', got {fault_region!r}"
-        )
-    settings = configs.scale_settings(scale)
-    hw_config = configs.hardware_config(scale)
-    fault_model = (
-        FaultModel(fault_density, sa0_sa1_ratio=sa_ratio, seed=seed)
-        if fault_density > 0
-        else None
-    )
-    hardware = HardwareEnvironment(
-        config=hw_config,
-        fault_model=fault_model,
-        weight_fraction=settings.weight_fraction,
-        fmt=FixedPointFormat(
-            total_bits=hw_config.weight_bits,
-            max_value=settings.weight_max_value,
-            bits_per_cell=hw_config.bits_per_cell,
-        ),
-        num_crossbars=settings.num_crossbars,
-    )
-    if fault_region != "both":
-        from repro.hardware.faults import FaultMap
-
-        cleared = (
-            hardware.adjacency_crossbars
-            if fault_region == "weights"
-            else hardware.weight_crossbars
-        )
-        for crossbar in cleared:
-            crossbar.set_fault_map(FaultMap.empty(crossbar.rows, crossbar.cols))
-    return hardware
+def cache_stats() -> Dict[str, float]:
+    """Hit/miss counters of the shared engine (memo + artifact caches)."""
+    return DEFAULT_ENGINE.summary()
 
 
 def run_single(
@@ -105,58 +72,24 @@ def run_single(
     strategy_kwargs: Optional[Dict] = None,
     use_cache: bool = True,
 ) -> TrainingResult:
-    """Train one configuration and return its result (memoised)."""
-    strategy_kwargs = strategy_kwargs or configs.strategy_kwargs_for(strategy_name, scale)
-    cache_key = (
-        dataset,
-        model,
-        strategy_name,
-        round(float(fault_density), 6),
-        tuple(float(x) for x in sa_ratio),
-        scale,
-        int(seed),
-        epochs,
-        post_deployment_extra,
-        fault_region,
-        tuple(sorted(strategy_kwargs.items())),
-    )
-    if use_cache and cache_key in _RESULT_CACHE:
-        return _RESULT_CACHE[cache_key]
+    """Train one configuration and return its result (memoised).
 
-    graph = load_dataset(dataset, scale=scale, seed=seed)
-    training_config = configs.training_config(dataset, scale, seed=seed, epochs=epochs)
-    strategy = build_strategy(strategy_name, **strategy_kwargs)
-
-    hardware = None
-    post_deployment = None
-    if strategy.requires_hardware:
-        hardware = build_hardware(
-            scale, fault_density, sa_ratio, seed=seed, fault_region=fault_region
-        )
-        if post_deployment_extra:
-            post_deployment = PostDeploymentSchedule(
-                total_extra_density=post_deployment_extra,
-                num_epochs=training_config.epochs,
-            )
-
-    trainer = FaultyTrainer(
-        graph=graph,
-        model_name=model,
-        strategy=strategy,
-        config=training_config,
-        hardware=hardware,
-        post_deployment=post_deployment,
+    ``use_cache=False`` bypasses the engine entirely and rebuilds every input
+    from scratch — the seed serial behaviour, kept as the reference path.
+    """
+    spec = RunSpec.make(
+        dataset=dataset,
+        model=model,
+        strategy=strategy_name,
+        fault_density=fault_density,
+        sa_ratio=sa_ratio,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+        post_deployment_extra=post_deployment_extra,
+        fault_region=fault_region,
+        strategy_kwargs=strategy_kwargs,
     )
-    logger.info(
-        "training %s/%s strategy=%s density=%.3f ratio=%s scale=%s",
-        dataset,
-        model,
-        strategy_name,
-        fault_density,
-        sa_ratio,
-        scale,
-    )
-    result = trainer.train()
-    if use_cache:
-        _RESULT_CACHE[cache_key] = result
-    return result
+    if not use_cache:
+        return execute_spec(spec)
+    return DEFAULT_ENGINE.run(SweepPlan([spec]))[spec]

@@ -1,4 +1,4 @@
-"""Tables I–III of the paper.
+"""Tables I–III of the paper, plus seed-replication aggregation helpers.
 
 * **Table I** — qualitative comparison of existing fault-tolerant techniques;
   static content reproduced verbatim (it encodes the paper's motivation).
@@ -8,11 +8,18 @@
 * **Table III** — the ReRAM tile specification, generated from
   :class:`~repro.hardware.config.ReRAMConfig` so the simulated architecture
   and the documented one cannot drift apart.
+
+:func:`aggregate_seed_rows` / :func:`format_seed_table` turn the per-seed
+``rows()`` of any figure driver (see ``run_fig*_seeds`` and the
+``python -m repro.experiments`` CLI) into one mean±std table — the error-bar
+form of the paper's accuracy grids.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
+
+import numpy as np
 
 from repro.experiments import configs
 from repro.graph.datasets import DATASET_REGISTRY, load_dataset
@@ -98,6 +105,73 @@ def format_table2(scale: str = "ci", seed: int = 0) -> str:
         table2_rows(scale=scale, seed=seed),
         float_fmt=".2f",
         title="Table II — datasets and GNN workload configuration",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Seed replication: mean ± std aggregation
+# --------------------------------------------------------------------------- #
+def mean_std(values: Sequence[float], float_fmt: str = ".4f") -> str:
+    """Render seed replicates as ``mean ± std`` (population std, ddof=0).
+
+    Seed-invariant cells (a single replicate, or all replicates equal — e.g.
+    a paper reference constant) render as the bare value: an error bar of
+    ``± 0.0000`` would misrepresent a constant as a measurement.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("mean_std needs at least one value")
+    if data.size == 1 or np.all(data == data[0]):
+        return f"{data[0]:{float_fmt}}"
+    return f"{data.mean():{float_fmt}} ± {data.std():{float_fmt}}"
+
+
+def aggregate_seed_rows(
+    rows_per_seed: Sequence[List[List]], float_fmt: str = ".4f"
+) -> List[List]:
+    """Element-wise mean±std over per-seed copies of a figure's ``rows()``.
+
+    Every seed must produce the same table shape with identical non-numeric
+    cells (the workload/density labels); numeric cells are replaced by their
+    ``mean ± std`` string across seeds.
+    """
+    if not rows_per_seed:
+        raise ValueError("aggregate_seed_rows needs at least one seed's rows")
+    shapes = {tuple(len(row) for row in rows) for rows in rows_per_seed}
+    if len(shapes) != 1:
+        raise ValueError(f"per-seed tables disagree in shape: {sorted(shapes)}")
+    aggregated: List[List] = []
+    for row_cells in zip(*rows_per_seed):
+        row: List = []
+        for cells in zip(*row_cells):
+            first = cells[0]
+            if isinstance(first, (int, float, np.integer, np.floating)) and not isinstance(
+                first, bool
+            ):
+                row.append(mean_std([float(c) for c in cells], float_fmt=float_fmt))
+            else:
+                if any(c != first for c in cells[1:]):
+                    raise ValueError(
+                        f"non-numeric cells differ across seeds: {cells!r}"
+                    )
+                row.append(first)
+        aggregated.append(row)
+    return aggregated
+
+
+def format_seed_table(
+    headers: Sequence[str],
+    rows_per_seed: Sequence[List[List]],
+    seeds: Sequence[int],
+    title: str,
+    float_fmt: str = ".4f",
+) -> str:
+    """Render per-seed figure rows as one mean±std table."""
+    seed_list = ", ".join(str(s) for s in seeds)
+    return format_table(
+        list(headers),
+        aggregate_seed_rows(rows_per_seed, float_fmt=float_fmt),
+        title=f"{title} — mean ± std over seeds {{{seed_list}}}",
     )
 
 

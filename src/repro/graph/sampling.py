@@ -80,6 +80,12 @@ class ClusterBatchSampler:
                 "partition.num_parts does not match num_parts "
                 f"({self.partition.num_parts} vs {self.num_parts})"
             )
+        if self.partition.assignment.shape[0] != graph.num_nodes:
+            raise ValueError(
+                "injected partition covers "
+                f"{self.partition.assignment.shape[0]} nodes but the graph "
+                f"has {graph.num_nodes}"
+            )
 
     @property
     def num_batches(self) -> int:

@@ -258,6 +258,21 @@ class FaultModel:
             f"clustered={self.clustered})"
         )
 
+    @property
+    def rng_state(self) -> dict:
+        """Snapshot of the generator state (see ``experiments/sweeps.py``).
+
+        Restoring a captured state into a fresh model makes subsequent draws
+        (e.g. post-deployment :meth:`inject_additional`) continue the exact
+        random stream of the original — what lets the sweep engine rebuild a
+        hardware environment from cached fault maps without re-sampling.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     # ------------------------------------------------------------------ #
     def _sample_fault_map(
         self, rows: int, cols: int, num_faults: int, rng: np.random.Generator

@@ -311,6 +311,38 @@ class WeightCrossbarMapper:
 # --------------------------------------------------------------------------- #
 # Adjacency mapping
 # --------------------------------------------------------------------------- #
+def decompose_adjacency(
+    adjacency: CSRMatrix, rows: int, cols: int
+) -> Tuple[List[np.ndarray], Tuple[int, int]]:
+    """Split a (binary) adjacency into ``rows × cols`` dense blocks.
+
+    Blocks on the right/bottom edge are zero-padded to the crossbar shape.
+    Returns ``(blocks, (row_blocks, col_blocks))`` in row-major order.  A
+    free function (rather than only a mapper method) so the sweep engine can
+    compute the decomposition once per ``(graph, geometry)`` and share it
+    across every run of a grid.
+    """
+    n, m = adjacency.shape
+    row_blocks = max(1, -(-n // rows))
+    col_blocks = max(1, -(-m // cols))
+    # One CSR scatter + one reshape instead of a per-block extraction
+    # loop: write the sparse entries straight into the padded block grid,
+    # then carve it into (row_blocks, col_blocks, rows, cols) views.
+    padded = np.zeros((row_blocks * rows, col_blocks * cols), dtype=np.float64)
+    entry_rows = np.repeat(np.arange(n), np.diff(adjacency.indptr))
+    padded[entry_rows, adjacency.indices] = adjacency.data
+    grid = (
+        padded.reshape(row_blocks, rows, col_blocks, cols)
+        .transpose(0, 2, 1, 3)
+    )
+    blocks: List[np.ndarray] = [
+        (grid[bi, bj] > 0).astype(np.float64)
+        for bi in range(row_blocks)
+        for bj in range(col_blocks)
+    ]
+    return blocks, (row_blocks, col_blocks)
+
+
 class AdjacencyCrossbarMapper:
     """Programs per-batch adjacency blocks onto crossbars and reads them back.
 
@@ -372,27 +404,9 @@ class AdjacencyCrossbarMapper:
         Blocks on the right/bottom edge are zero-padded to the crossbar shape.
         Returns ``(blocks, (row_blocks, col_blocks))`` in row-major order.
         """
-        rows = self.config.crossbar_rows
-        cols = self.config.crossbar_cols
-        n, m = adjacency.shape
-        row_blocks = max(1, -(-n // rows))
-        col_blocks = max(1, -(-m // cols))
-        # One CSR scatter + one reshape instead of a per-block extraction
-        # loop: write the sparse entries straight into the padded block grid,
-        # then carve it into (row_blocks, col_blocks, rows, cols) views.
-        padded = np.zeros((row_blocks * rows, col_blocks * cols), dtype=np.float64)
-        entry_rows = np.repeat(np.arange(n), np.diff(adjacency.indptr))
-        padded[entry_rows, adjacency.indices] = adjacency.data
-        grid = (
-            padded.reshape(row_blocks, rows, col_blocks, cols)
-            .transpose(0, 2, 1, 3)
+        return decompose_adjacency(
+            adjacency, self.config.crossbar_rows, self.config.crossbar_cols
         )
-        blocks: List[np.ndarray] = [
-            (grid[bi, bj] > 0).astype(np.float64)
-            for bi in range(row_blocks)
-            for bj in range(col_blocks)
-        ]
-        return blocks, (row_blocks, col_blocks)
 
     def apply_mapping(
         self,

@@ -36,9 +36,12 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.hw_state import HardwareStateCache
+from repro.core.mapping import BatchMapping
 from repro.core.strategies import Strategy
 from repro.graph.graph import Graph
-from repro.graph.sampling import ClusterBatchSampler
+from repro.graph.partition import PartitionResult
+from repro.graph.sampling import ClusterBatch, ClusterBatchSampler
+from repro.hardware.bist import BISTReport
 from repro.hardware.endurance import PostDeploymentSchedule
 from repro.nn.base import BatchInputs, GNNModel
 from repro.nn.factory import build_model
@@ -84,6 +87,33 @@ class TrainingConfig:
 
 
 @dataclass
+class TrainerArtifacts:
+    """Precomputed preprocessing inputs a trainer may reuse instead of rebuild.
+
+    Produced by the sweep engine (:mod:`repro.experiments.sweeps`), which
+    content-keys these artifacts and shares them across the runs of a grid.
+    Every field is optional and independent; a missing field is computed the
+    usual way.  All supplied objects are consumed **read-only** — training
+    never mutates batches, blocks, BIST reports or plans — so one artifact
+    set may feed many trainers.  Supplying them does not change the training
+    outcome (bit-identical histories; enforced by
+    ``tests/test_experiments_sweeps.py``).
+    """
+
+    #: Cluster partition for the sampler (skips ``partition_graph``).
+    partition: Optional[PartitionResult] = None
+    #: The fixed mini-batch list (skips sampler construction entirely).
+    batches: Optional[List[ClusterBatch]] = None
+    #: Per-batch adjacency blocks + grid shapes (skips ``decompose``).
+    blocks_per_batch: Optional[List[List[np.ndarray]]] = None
+    grids: Optional[List] = None
+    #: Pre-deployment scan result (skips the BIST scan).
+    bist_report: Optional[BISTReport] = None
+    #: Adjacency mapping plans (skips ``strategy.plan_adjacency``).
+    plans: Optional[List[BatchMapping]] = None
+
+
+@dataclass
 class TrainingResult:
     """Outcome of one training run."""
 
@@ -122,6 +152,7 @@ class FaultyTrainer:
         hardware: Optional[HardwareEnvironment] = None,
         post_deployment: Optional[PostDeploymentSchedule] = None,
         use_hw_state_cache: bool = True,
+        artifacts: Optional[TrainerArtifacts] = None,
     ) -> None:
         self.graph = graph
         self.model_name = model_name.lower()
@@ -129,6 +160,7 @@ class FaultyTrainer:
         self.config = config
         self.hardware = hardware
         self.post_deployment = post_deployment
+        self.artifacts = artifacts or TrainerArtifacts()
         #: Epoch-cached hardware read-back (see :mod:`repro.core.hw_state`).
         #: ``False`` restores the seed per-batch recomputation path exactly —
         #: per-block program/read loops and the unfused weight pipeline — for
@@ -141,15 +173,23 @@ class FaultyTrainer:
 
         rng_model, rng_sampler, self._train_rng = spawn_rngs(config.seed, 3)
 
-        self.sampler = ClusterBatchSampler(
-            graph,
-            num_parts=config.num_parts,
-            batch_clusters=config.batch_clusters,
-            seed=rng_sampler,
-        )
         # Batch composition is fixed across epochs: the adjacency mapping is
-        # computed once in pre-processing (Section IV-A).
-        self.batches = list(self.sampler.epoch(shuffle=False))
+        # computed once in pre-processing (Section IV-A).  The sampler stream
+        # (`rng_sampler`) only feeds partitioning tie-breaks and the (unused
+        # here) epoch shuffle, so injecting a precomputed partition or batch
+        # list leaves the model/training streams — and the outcome — intact.
+        if self.artifacts.batches is not None:
+            self.sampler = None
+            self.batches = list(self.artifacts.batches)
+        else:
+            self.sampler = ClusterBatchSampler(
+                graph,
+                num_parts=config.num_parts,
+                batch_clusters=config.batch_clusters,
+                seed=rng_sampler,
+                partition=self.artifacts.partition,
+            )
+            self.batches = list(self.sampler.epoch(shuffle=False))
 
         self.model: GNNModel = build_model(
             self.model_name,
@@ -202,13 +242,38 @@ class FaultyTrainer:
             enabled=self.use_hw_state_cache,
         )
         self.strategy.attach_hw_state_cache(self._hw_cache)
-        self._blocks_per_batch = []
-        self._grids = []
-        for batch in self.batches:
-            blocks, grid = self._adjacency_mapper.decompose(batch.subgraph.adjacency)
-            self._blocks_per_batch.append(blocks)
-            self._grids.append(grid)
-        report = hw.bist.scan(self._adjacency_mapper.crossbars)
+        if (
+            self.artifacts.blocks_per_batch is not None
+            and self.artifacts.grids is not None
+        ):
+            if len(self.artifacts.blocks_per_batch) != len(self.batches) or len(
+                self.artifacts.grids
+            ) != len(self.batches):
+                raise ValueError(
+                    f"artifacts cover {len(self.artifacts.blocks_per_batch)} "
+                    f"block lists / {len(self.artifacts.grids)} grids but the "
+                    f"sampler produced {len(self.batches)} batches"
+                )
+            self._blocks_per_batch = self.artifacts.blocks_per_batch
+            self._grids = self.artifacts.grids
+        else:
+            self._blocks_per_batch = []
+            self._grids = []
+            for batch in self.batches:
+                blocks, grid = self._adjacency_mapper.decompose(batch.subgraph.adjacency)
+                self._blocks_per_batch.append(blocks)
+                self._grids.append(grid)
+        if self.artifacts.plans is not None:
+            if len(self.artifacts.plans) != len(self.batches):
+                raise ValueError(
+                    f"artifacts supply {len(self.artifacts.plans)} mapping "
+                    f"plans but the sampler produced {len(self.batches)} batches"
+                )
+            self._plans = list(self.artifacts.plans)
+            return
+        report = self.artifacts.bist_report
+        if report is None:
+            report = hw.bist.scan(self._adjacency_mapper.crossbars)
         self._plans = self.strategy.plan_adjacency(
             self._blocks_per_batch,
             report.fault_maps,
@@ -308,9 +373,17 @@ class FaultyTrainer:
             if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
                 train_acc = self.evaluate(split="train")
                 test_acc = self.evaluate(split="test")
+            elif result.train_accuracy_history:
+                train_acc = result.train_accuracy_history[-1]
+                test_acc = result.test_accuracy_history[-1]
             else:
-                train_acc = result.train_accuracy_history[-1] if result.train_accuracy_history else 0.0
-                test_acc = result.test_accuracy_history[-1] if result.test_accuracy_history else 0.0
+                # Epochs before the first eval_every boundary: evaluate once
+                # at the first recorded epoch and carry that value forward
+                # instead of padding with 0.0, which would poison mean±std
+                # aggregation across seeds.  Histories at and after the first
+                # boundary are unchanged.
+                train_acc = self.evaluate(split="train")
+                test_acc = self.evaluate(split="test")
             result.train_accuracy_history.append(train_acc)
             result.test_accuracy_history.append(test_acc)
             result.epochs_run = epoch + 1
