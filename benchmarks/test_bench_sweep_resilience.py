@@ -1,0 +1,192 @@
+"""Chaos gate — fault-tolerant sweep execution under injected failures.
+
+PR 5's declarative engine made sweeps fast; this gate proves they are also
+*trustworthy*: a supervised sweep survives deterministic injected chaos with
+results bit-identical to a failure-free run, and an interrupted sweep resumes
+from its crash-safe journal recomputing only unfinished specs.
+
+Two scenarios over a **Fig. 4-shaped grid** (strategy × fault-density,
+three seed groups so the parallel supervisor has queued *and* in-flight
+work when a worker dies):
+
+* **chaos sweep** — two spawned workers with three *independently
+  triggered* injected failures in one run: group 0's worker hard-killed
+  (``os._exit``) on its first attempt, a transient-raise spec in group 1
+  (fails its first three attempts, then succeeds), and group 2 hung past
+  the per-group wall-clock timeout on its first attempt.  Each trigger
+  fires on a group's guaranteed-to-execute attempt, so the scenario does
+  not depend on scheduling races between the failures.  Gate: every spec
+  completes, outcomes bit-identical to the failure-free serial run, zero
+  quarantines, and the crash/timeout/retry counters prove the chaos
+  actually fired.
+* **interrupt + resume** — a store+journal-backed serial sweep aborted after
+  ~50 % of the grid published; a fresh engine over the same store/journal
+  must recompute only the unfinished half (journal/store hits for every
+  completed spec) and reproduce the reference bit for bit.
+
+Metrics land in ``bench_summary.json`` via ``record_result``; the
+no-failure hot path is gated separately by ``test_bench_sweeps``.
+"""
+
+import time
+
+from repro.experiments.failures import FaultInjector, RetryPolicy
+from repro.experiments.fig4 import plan_fig4
+from repro.experiments.sweeps import ResultStore, SweepEngine, SweepJournal
+
+from _bench_utils import bench_epochs, bench_seed, record_result
+from repro.utils.tabulate import format_table
+
+#: Near-zero backoff: the gate cares about schedules firing, not waiting.
+#: The attempt budget leaves headroom for pile-ups — a spec can lose
+#: attempts to the pool kill and the timeout respawn *on top of* its own
+#: three injected transient failures.
+CHAOS_RETRIES = RetryPolicy(max_attempts=6, base_delay=0.001, max_delay=0.05)
+
+#: Generous per-group budget — worker spawn+import alone costs ~2 s.
+GROUP_TIMEOUT_S = 10.0
+
+#: Injected hang, far past the timeout so expiry is unambiguous.
+HANG_S = 60.0
+
+
+def _outcome(result):
+    return (
+        result.loss_history,
+        result.train_accuracy_history,
+        result.test_accuracy_history,
+        result.final_test_accuracy,
+    )
+
+
+def _plan():
+    """Fig. 4 grid three times (three seeds → three artifact groups)."""
+    epochs = bench_epochs() or 1
+    seed = bench_seed()
+    plan = plan_fig4(seed=seed, epochs=epochs)
+    for offset in (1, 2):
+        plan = plan + plan_fig4(seed=seed + offset, epochs=epochs)
+    return plan
+
+
+def test_bench_sweep_resilience(run_once, tmp_path):
+    plan = _plan()
+
+    def run():
+        # Failure-free serial reference — the bit-identity yardstick.
+        reference_engine = SweepEngine()
+        start = time.perf_counter()
+        reference = {
+            spec: _outcome(result)
+            for spec, result in reference_engine.run(plan).results.items()
+        }
+        reference_s = time.perf_counter() - start
+
+        # Scenario 1: chaos sweep.  Each injected failure strikes an attempt
+        # that is guaranteed to execute: group 0's first attempt is killed
+        # (breaking the pool under whatever else is in flight), group 2's
+        # first attempt hangs past the timeout, and a spec of group 1 raises
+        # transiently on its first three attempts — enough injected failures
+        # to fire at least once even if a pool respawn already consumed some
+        # of that spec's early attempts.
+        victim = list(plan.groups().values())[1][0]
+        chaos_engine = SweepEngine(
+            retry_policy=CHAOS_RETRIES,
+            group_timeout=GROUP_TIMEOUT_S,
+            fault_injector=FaultInjector(
+                kill_group=0,
+                delay_group=2,
+                delay_seconds=HANG_S,
+                transient_specs=((victim.signature(), 3),),
+            ),
+        )
+        start = time.perf_counter()
+        chaos = chaos_engine.run(plan, max_workers=2)
+        chaos_s = time.perf_counter() - start
+        stats = chaos_engine.summary()
+
+        assert chaos.complete(), [r.describe() for r in chaos.failed_specs]
+        for spec in plan:
+            assert _outcome(chaos[spec]) == reference[spec], spec
+        # The chaos must actually have fired, not been silently skipped.
+        assert stats["worker_crashes"] >= 1, "injected kill never struck"
+        assert stats["group_timeouts"] >= 1, "injected hang never timed out"
+        assert stats["retry_transient"] >= 1, "injected transient never retried"
+        assert stats["pool_respawns"] >= 2
+        assert stats["quarantine_specs"] == 0
+
+        # Scenario 2: interrupt at ~50 %, then resume.
+        store_dir = tmp_path / "runcache"
+        journal_path = tmp_path / "sweep_journal.jsonl"
+        abort_after = len(plan) // 2
+        interrupted = SweepEngine(
+            store=ResultStore(store_dir),
+            journal=SweepJournal(journal_path),
+            fault_injector=FaultInjector(abort_after=abort_after),
+        )
+        try:
+            interrupted.run(plan)
+            raise AssertionError("injected abort never interrupted the sweep")
+        except KeyboardInterrupt:
+            pass
+        assert interrupted.runs_executed == abort_after
+
+        resumed_engine = SweepEngine(
+            store=ResultStore(store_dir), journal=SweepJournal(journal_path)
+        )
+        start = time.perf_counter()
+        resumed = resumed_engine.run(plan)
+        resume_s = time.perf_counter() - start
+        resumed_stats = resumed_engine.summary()
+
+        assert resumed.complete()
+        for spec in plan:
+            assert _outcome(resumed[spec]) == reference[spec], spec
+        # Resume recomputes only the unfinished specs; every completed one
+        # is a store hit audited by the journal.
+        assert resumed_stats["runs_executed"] == float(len(plan) - abort_after)
+        assert resumed_stats["store_hits"] == float(abort_after)
+        assert resumed_stats["journal_hits"] == float(abort_after)
+
+        return reference_s, chaos_s, resume_s, stats, resumed_stats, abort_after
+
+    reference_s, chaos_s, resume_s, stats, resumed_stats, abort_after = run_once(run)
+
+    rows = [
+        ["failure-free serial reference", reference_s, "-"],
+        [
+            "chaos sweep (kill + hang + transient, 2 workers)",
+            chaos_s,
+            f"{stats['retry_attempts']:.0f} retries, "
+            f"{stats['pool_respawns']:.0f} respawns",
+        ],
+        [
+            f"resume after interrupt at {abort_after}/{len(_plan())} specs",
+            resume_s,
+            f"{resumed_stats['journal_hits']:.0f} journal hits",
+        ],
+    ]
+    record_result(
+        "sweep_resilience",
+        format_table(
+            ["Scenario", "Wall clock (s)", "Recovery"],
+            rows,
+            float_fmt=".3f",
+            title=(
+                "Fault-tolerant sweep execution — injected chaos, "
+                "bit-identical results"
+            ),
+        ),
+        metrics={
+            "resilience.reference_s": reference_s,
+            "resilience.chaos_s": chaos_s,
+            "resilience.resume_s": resume_s,
+            "resilience.worker_crashes": stats["worker_crashes"],
+            "resilience.group_timeouts": stats["group_timeouts"],
+            "resilience.retry_attempts": stats["retry_attempts"],
+            "resilience.pool_respawns": stats["pool_respawns"],
+            "resilience.quarantine_specs": stats["quarantine_specs"],
+            "resilience.resume_journal_hits": resumed_stats["journal_hits"],
+            "resilience.resume_runs_executed": resumed_stats["runs_executed"],
+        },
+    )

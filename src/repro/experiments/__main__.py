@@ -15,6 +15,15 @@ per figure: preprocessing artifacts are shared across grid cells, multiple
 ``--store`` persists results under ``benchmarks/results/runcache/``
 (``REPRO_RUNCACHE_DIR`` overrides the location) so re-runs skip finished
 cells.  ``fig7`` and ``tables`` are analytical/static and run as-is.
+
+Fault tolerance: execution is supervised (see
+:mod:`repro.experiments.failures`) — ``--max-attempts`` and ``--timeout``
+tune the retry policy and per-group wall-clock budget, ``--resume`` replays
+the crash-safe journal next to the run cache so an interrupted invocation
+recomputes only unfinished specs (implies ``--store``), and any spec that
+exhausts its retries is quarantined: the grid still renders (missing cells
+marked), a failure report prints, and the exit status is 1 so CI catches
+partial sweeps.  A ``Ctrl-C`` exits 130 with a resume hint.
 """
 
 from __future__ import annotations
@@ -30,8 +39,10 @@ from repro.experiments.configs import SA_RATIO_1_1, SA_RATIO_9_1
 from repro.experiments.sweeps import (
     ResultStore,
     SweepEngine,
+    SweepJournal,
     run_seed_replicates,
 )
+from repro.experiments.failures import RetryPolicy
 
 #: name → (plan_fn, run_fn, format_fn, seed-aggregation headers, title).
 #: Headers come from the figure modules (single source next to ``rows()``).
@@ -149,6 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist results in the on-disk run cache (benchmarks/results/runcache)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted invocation from the sweep journal next to "
+            "the run cache (implies --store)"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per spec before quarantine (transient/infra failures only)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-artifact-group wall-clock budget in seconds (parallel runs)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available figures and exit"
     )
     return parser
@@ -169,19 +200,43 @@ def main(argv: List[str] = None) -> int:
         print(f"available: {', '.join(ALL_FIGURES)}, all", file=sys.stderr)
         return 2
 
+    use_store = args.store or args.resume
     engine = SweepEngine(
-        store=ResultStore() if args.store else None, max_workers=args.workers
+        store=ResultStore() if use_store else None,
+        max_workers=args.workers,
+        retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        group_timeout=args.timeout,
+        journal=SweepJournal() if use_store else None,
     )
     started = time.perf_counter()
-    for name in names:
-        if name in TRAINING_FIGURES:
-            print(_emit_training_figure(name, args, engine))
+    try:
+        for name in names:
+            if name in TRAINING_FIGURES:
+                print(_emit_training_figure(name, args, engine))
+            else:
+                print(_emit_analytic_figure(name))
+            print()
+    except KeyboardInterrupt:
+        if args.resume:
+            hint = "rerun with --resume to pick up where this sweep left off"
+        elif use_store:
+            hint = "completed runs are stored; rerun with --resume to skip them"
         else:
-            print(_emit_analytic_figure(name))
-        print()
+            hint = "run with --store --resume to make sweeps resumable"
+        print(f"\ninterrupted — {hint}", file=sys.stderr)
+        return 130
     elapsed = time.perf_counter() - started
     print(engine.format_summary())
     print(f"total wall time: {elapsed:.1f} s")
+    if engine.failed:
+        print()
+        print(engine.failure_report())
+        print(
+            f"{len(engine.failed)} spec(s) quarantined — tables above mark the "
+            "affected cells as (missing)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

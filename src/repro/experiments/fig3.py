@@ -41,13 +41,17 @@ FIG3_HEADERS: Tuple[str, ...] = ("Faulted matrix", "Fault type", "Test accuracy"
 
 @dataclass(frozen=True)
 class Fig3Result:
-    """Accuracy of every (region, fault type) combination plus the reference."""
+    """Accuracy of every (region, fault type) combination plus the reference.
+
+    Cells whose spec was quarantined by the fault-tolerant engine are
+    ``None`` and render as ``(missing)`` instead of raising.
+    """
 
     dataset: str
     model: str
     fault_density: float
-    fault_free_accuracy: float
-    accuracies: Dict[Tuple[str, str], float]
+    fault_free_accuracy: Optional[float]
+    accuracies: Dict[Tuple[str, str], Optional[float]]
 
     def rows(self) -> List[List]:
         rows = [["-", "fault-free", self.fault_free_accuracy]]
@@ -113,13 +117,14 @@ def run_fig3(
         engine = default_engine()
     specs = _fig3_specs(dataset, model, fault_density, scale, seed, epochs)
     results = engine.run(SweepPlan(specs.values()))
+    acc = lambda r: r.final_test_accuracy  # noqa: E731
     return Fig3Result(
         dataset=dataset,
         model=model,
         fault_density=fault_density,
-        fault_free_accuracy=results[specs[None]].final_test_accuracy,
+        fault_free_accuracy=results.value(specs[None], acc),
         accuracies={
-            cell: results[spec].final_test_accuracy
+            cell: results.value(spec, acc)
             for cell, spec in specs.items()
             if cell is not None
         },

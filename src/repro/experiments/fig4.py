@@ -32,19 +32,26 @@ FIG4_SUMMARY_HEADERS = ["Strategy", "Density", "Final train accuracy", "Gap to f
 
 @dataclass(frozen=True)
 class Fig4Result:
-    """Per-epoch training accuracy series for both panels."""
+    """Per-epoch training accuracy series for both panels.
+
+    A curve whose spec was quarantined by the fault-tolerant engine is
+    ``None``; summary cells derived from it render as ``(missing)``.
+    """
 
     dataset: str
     model: str
     densities: Tuple[float, ...]
-    fault_free_curve: List[float]
-    fault_unaware_curves: Dict[float, List[float]]
-    fare_curves: Dict[float, List[float]]
+    fault_free_curve: Optional[List[float]]
+    fault_unaware_curves: Dict[float, Optional[List[float]]]
+    fare_curves: Dict[float, Optional[List[float]]]
 
-    def final_gap(self, panel: str, density: float) -> float:
+    def final_gap(self, panel: str, density: float) -> Optional[float]:
         """Final-epoch training-accuracy gap to the fault-free curve."""
         curves = self.fault_unaware_curves if panel == "fault_unaware" else self.fare_curves
-        return self.fault_free_curve[-1] - curves[density][-1]
+        curve = curves[density]
+        if self.fault_free_curve is None or curve is None:
+            return None
+        return self.fault_free_curve[-1] - curve[-1]
 
     def rows(self) -> List[List]:
         """Final-epoch summary rows (see :data:`FIG4_SUMMARY_HEADERS`).
@@ -52,14 +59,25 @@ class Fig4Result:
         The per-epoch curves stay in :func:`format_fig4`; these rows are the
         seed-aggregatable form used for mean±std error bars.
         """
-        rows: List[List] = [["fault-free", "-", self.fault_free_curve[-1], 0.0]]
+        reference_final = (
+            None if self.fault_free_curve is None else self.fault_free_curve[-1]
+        )
+        rows: List[List] = [
+            ["fault-free", "-", reference_final, None if reference_final is None else 0.0]
+        ]
         for panel, curves in (
             ("fault_unaware", self.fault_unaware_curves),
             ("fare", self.fare_curves),
         ):
             for density in self.densities:
+                curve = curves[density]
                 rows.append(
-                    [panel, f"{density:.0%}", curves[density][-1], self.final_gap(panel, density)]
+                    [
+                        panel,
+                        f"{density:.0%}",
+                        None if curve is None else curve[-1],
+                        self.final_gap(panel, density),
+                    ]
                 )
         return rows
 
@@ -124,19 +142,18 @@ def run_fig4(
         engine = default_engine()
     specs = _fig4_specs(dataset, model, densities, sa_ratio, scale, seed, epochs)
     results = engine.run(SweepPlan(specs.values()))
+    curve = lambda r: list(r.train_accuracy_history)  # noqa: E731
     return Fig4Result(
         dataset=dataset,
         model=model,
         densities=tuple(densities),
-        fault_free_curve=list(
-            results[specs[("fault_free", 0.0)]].train_accuracy_history
-        ),
+        fault_free_curve=results.value(specs[("fault_free", 0.0)], curve),
         fault_unaware_curves={
-            density: list(results[specs[("fault_unaware", density)]].train_accuracy_history)
+            density: results.value(specs[("fault_unaware", density)], curve)
             for density in densities
         },
         fare_curves={
-            density: list(results[specs[("fare", density)]].train_accuracy_history)
+            density: results.value(specs[("fare", density)], curve)
             for density in densities
         },
     )
@@ -152,16 +169,22 @@ def run_fig4_seeds(
 def format_fig4(result: Fig4Result) -> str:
     """Render the per-epoch series as two tables (one per panel)."""
     headers = ["Epoch", "fault-free"] + [f"{d:.0%}" for d in result.densities]
+    all_curves = [result.fault_free_curve]
+    all_curves += [result.fault_unaware_curves[d] for d in result.densities]
+    all_curves += [result.fare_curves[d] for d in result.densities]
+    n_epochs = max((len(c) for c in all_curves if c is not None), default=0)
     blocks = []
     for panel, curves in (
         ("(a) fault unaware", result.fault_unaware_curves),
         ("(b) FARe", result.fare_curves),
     ):
         rows = []
-        for epoch in range(len(result.fault_free_curve)):
-            row = [epoch + 1, result.fault_free_curve[epoch]]
+        for epoch in range(n_epochs):
+            reference = result.fault_free_curve
+            row = [epoch + 1, None if reference is None else reference[epoch]]
             for density in result.densities:
-                row.append(curves[density][epoch])
+                curve = curves[density]
+                row.append(None if curve is None else curve[epoch])
             rows.append(row)
         blocks.append(
             format_table(

@@ -41,20 +41,33 @@ FIG6_HEADERS: Tuple[str, ...] = ("Workload", "Density") + tuple(COMPARED_STRATEG
 
 @dataclass
 class Fig6Result:
-    """Test accuracies keyed by (dataset, model, density, strategy)."""
+    """Test accuracies keyed by (dataset, model, density, strategy).
+
+    Quarantined cells hold ``None`` (rendered ``(missing)``); drops derived
+    from a missing cell are ``None`` too.
+    """
 
     sa_ratio: Tuple[float, float]
     densities: Tuple[float, ...]
     pairs: Tuple[Tuple[str, str], ...]
     post_deployment_extra: float
-    accuracies: Dict[Tuple[str, str, float, str], float] = field(default_factory=dict)
+    accuracies: Dict[Tuple[str, str, float, str], Optional[float]] = field(
+        default_factory=dict
+    )
 
-    def accuracy(self, dataset: str, model: str, density: float, strategy: str) -> float:
+    def accuracy(
+        self, dataset: str, model: str, density: float, strategy: str
+    ) -> Optional[float]:
         return self.accuracies[(dataset, model, density, strategy)]
 
-    def accuracy_drop(self, dataset: str, model: str, density: float, strategy: str) -> float:
+    def accuracy_drop(
+        self, dataset: str, model: str, density: float, strategy: str
+    ) -> Optional[float]:
         baseline = self.accuracies[(dataset, model, density, "fault_free")]
-        return baseline - self.accuracies[(dataset, model, density, strategy)]
+        measured = self.accuracies[(dataset, model, density, strategy)]
+        if baseline is None or measured is None:
+            return None
+        return baseline - measured
 
     def rows(self) -> List[List]:
         rows = []
@@ -155,7 +168,7 @@ def run_fig6(
         post_deployment_extra=post_deployment_extra,
     )
     for cell, spec in specs.items():
-        result.accuracies[cell] = results[spec].final_test_accuracy
+        result.accuracies[cell] = results.value(spec, lambda r: r.final_test_accuracy)
     return result
 
 

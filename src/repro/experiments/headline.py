@@ -37,11 +37,15 @@ HEADLINE_HEADERS = ("Claim", "Paper", "Measured", "Unit")
 
 @dataclass(frozen=True)
 class HeadlineClaim:
-    """One paper claim with the measured counterpart."""
+    """One paper claim with the measured counterpart.
+
+    ``measured_value`` is ``None`` (rendered ``(missing)``) when a spec the
+    claim depends on was quarantined by the fault-tolerant engine.
+    """
 
     name: str
     paper_value: float
-    measured_value: float
+    measured_value: Optional[float]
     unit: str
 
     def row(self) -> List:
@@ -97,8 +101,10 @@ def run_headline(
     panel_a = run_fig5(sa_ratio=SA_RATIO_9_1, **panel_kwargs)
     fig7 = run_fig7()
 
-    restoration = panel_b.accuracy("reddit", "gcn", density, "fare") - panel_b.accuracy(
-        "reddit", "gcn", density, "fault_unaware"
+    fare_1_1 = panel_b.accuracy("reddit", "gcn", density, "fare")
+    unaware_1_1 = panel_b.accuracy("reddit", "gcn", density, "fault_unaware")
+    restoration = (
+        None if fare_1_1 is None or unaware_1_1 is None else fare_1_1 - unaware_1_1
     )
     drop_9_1 = panel_a.accuracy_drop("reddit", "gcn", density, "fare")
     drop_1_1 = panel_b.accuracy_drop("reddit", "gcn", density, "fare")
@@ -110,23 +116,24 @@ def run_headline(
         for workload in {w for w, _ in fig7.normalized}
     )
 
+    maybe_float = lambda v: None if v is None else float(v)  # noqa: E731
     claims = [
         HeadlineClaim(
             name="accuracy_restoration_reddit_1to1",
             paper_value=0.476,
-            measured_value=float(restoration),
+            measured_value=maybe_float(restoration),
             unit="accuracy points",
         ),
         HeadlineClaim(
             name="fare_accuracy_drop_9to1",
             paper_value=0.01,
-            measured_value=float(drop_9_1),
+            measured_value=maybe_float(drop_9_1),
             unit="accuracy points (upper bound)",
         ),
         HeadlineClaim(
             name="fare_accuracy_drop_1to1",
             paper_value=0.011,
-            measured_value=float(drop_1_1),
+            measured_value=maybe_float(drop_1_1),
             unit="accuracy points (upper bound)",
         ),
         HeadlineClaim(

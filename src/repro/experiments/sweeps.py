@@ -42,6 +42,18 @@ on-disk store names files by :meth:`RunSpec.signature`, a SHA-256 over the
 canonical spec payload and :data:`SIGNATURE_VERSION`.  Bump the version
 whenever a semantic change makes old results stale; stored files whose
 embedded signature no longer matches their spec are deleted on load.
+
+Fault tolerance (see :mod:`repro.experiments.failures` and
+``docs/ARCHITECTURE.md``): execution is *supervised*.  Per-spec exceptions
+are classified (transient / deterministic / infra) and retried under a
+deterministic :class:`~repro.experiments.failures.RetryPolicy`; the parallel
+executor detects dead and hung workers (per-group wall-clock timeouts),
+respawns the pool and requeues in-flight artifact groups; specs that exhaust
+their retries are quarantined into :attr:`SweepResult.failed` with full
+context instead of aborting the sweep.  Results publish to the memo, the
+store and the :class:`SweepJournal` *as they complete*, so an interrupted
+sweep resumes from its completed runs (``python -m repro.experiments
+--resume``).
 """
 
 from __future__ import annotations
@@ -50,8 +62,9 @@ import copy
 import hashlib
 import json
 import os
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field, fields, replace
 from multiprocessing import get_context
 from pathlib import Path
@@ -61,6 +74,16 @@ import numpy as np
 
 from repro.core.strategies import Strategy, build_strategy
 from repro.experiments import configs
+from repro.experiments.failures import (
+    FailureKind,
+    FailureRecord,
+    FaultInjector,
+    GroupTimeoutError,
+    RetryPolicy,
+    SpecExecutionError,
+    WorkerCrashError,
+    format_failure_report,
+)
 from repro.graph.datasets import load_dataset
 from repro.graph.partition import PartitionResult, partition_graph
 from repro.graph.sampling import ClusterBatch, ClusterBatchSampler
@@ -629,7 +652,10 @@ class ArtifactCache:
 # Single-run execution
 # --------------------------------------------------------------------------- #
 def execute_spec(
-    spec: RunSpec, artifacts: Optional[ArtifactCache] = None
+    spec: RunSpec,
+    artifacts: Optional[ArtifactCache] = None,
+    injector: Optional[FaultInjector] = None,
+    attempt: int = 0,
 ) -> TrainingResult:
     """Train one spec and return its result.
 
@@ -638,7 +664,13 @@ def execute_spec(
     equivalence tests and the sweep benchmark baseline.  With an
     :class:`ArtifactCache`, shared preprocessing is reused as described in the
     module docstring; the training outcome is bit-identical either way.
+
+    ``injector``/``attempt`` are the deterministic fault-injection hook used
+    by the chaos tests: a scheduled per-spec failure raises before any work
+    happens (attempt-gated, so retries replay exactly).
     """
+    if injector is not None:
+        injector.on_spec_start(spec.signature(), attempt)
     strategy_kwargs = dict(spec.strategy_kwargs)
     training_config = configs.training_config(
         spec.dataset, spec.scale, seed=spec.seed, epochs=spec.epochs
@@ -856,29 +888,180 @@ class ResultStore:
 
 
 # --------------------------------------------------------------------------- #
+# Crash-safe sweep journal
+# --------------------------------------------------------------------------- #
+def default_journal_path(store_directory: Optional[Path] = None) -> Path:
+    """The journal's default home: next to the ``runcache/`` result store."""
+    directory = Path(store_directory) if store_directory else default_store_dir()
+    return directory / "sweep_journal.jsonl"
+
+
+class SweepJournal:
+    """Append-only progress journal making interrupted sweeps resumable.
+
+    One JSON line per event (``done`` when a spec's result was published to
+    the store, ``quarantined`` when it exhausted its retries), tagged with
+    the run signature and :data:`SIGNATURE_VERSION`.  Appends are flushed
+    and fsync'd per record; a crash can at worst tear the *last* line, which
+    the loader skips (and compacts away with an atomic temp-file+rename
+    rewrite, the same publish discipline as :meth:`ResultStore.save`).
+
+    Resume semantics: the journal is the audit trail, the store holds the
+    data.  On ``--resume`` the engine serves every journaled-``done`` spec
+    from the store (counted as ``journal_hits``) and recomputes only the
+    rest; ``quarantined`` entries are *re-attempted* (a new session gets a
+    fresh retry budget — the failure may have been environmental).
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = Path(path) if path is not None else default_journal_path()
+        self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        self.writes = 0
+        self.hits = 0
+        self.corrupt_lines = 0
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        stale = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                self.corrupt_lines += 1
+                continue
+            if (
+                entry.get("journal_version") != self.VERSION
+                or entry.get("signature_version") != SIGNATURE_VERSION
+                or "signature" not in entry
+            ):
+                stale += 1
+                continue
+            self._entries[entry["signature"]] = entry
+        if self.corrupt_lines or stale:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal from the in-memory entries."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        temp.write_text(
+            "".join(
+                json.dumps(entry, sort_keys=True) + "\n"
+                for entry in self._entries.values()
+            )
+        )
+        os.replace(temp, self.path)
+
+    def _record(self, signature: str, payload: Dict) -> None:
+        entry = {
+            "journal_version": self.VERSION,
+            "signature_version": SIGNATURE_VERSION,
+            "signature": signature,
+            **payload,
+        }
+        first = signature not in self._entries
+        self._entries[signature] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if first:
+            # Append-only fast path: one flushed+fsync'd line per event.
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            # Status change (quarantined → done on resume): atomic rewrite.
+            self._compact()
+        self.writes += 1
+
+    # ------------------------------------------------------------------ #
+    def record_done(self, spec: RunSpec) -> None:
+        self._record(spec.signature(), {"status": "done", "spec": spec.to_dict()})
+
+    def record_quarantined(self, record: FailureRecord) -> None:
+        self._record(record.signature, {"status": "quarantined", **record.to_dict()})
+
+    def status(self, spec: RunSpec) -> Optional[str]:
+        entry = self._entries.get(spec.signature())
+        return None if entry is None else entry.get("status")
+
+    def completed(self, spec: RunSpec) -> bool:
+        return self.status(spec) == "done"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def done_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.get("status") == "done")
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "journal_entries": float(len(self._entries)),
+            "journal_done": float(self.done_count()),
+            "journal_writes": float(self.writes),
+            "journal_hits": float(self.hits),
+            "journal_corrupt_lines": float(self.corrupt_lines),
+        }
+
+
+# --------------------------------------------------------------------------- #
 # Parallel worker plumbing
 # --------------------------------------------------------------------------- #
 #: Per-worker-process artifact cache (created lazily on first task).
 _WORKER_ARTIFACTS: Optional[ArtifactCache] = None
 
 
-def _run_group_in_worker(specs: List[RunSpec]):
-    """Execute one artifact group inside a spawned worker process.
+def _run_group_in_worker(task: Tuple):
+    """Execute one artifact-group task inside a spawned worker process.
 
-    Returns ``(pairs, stats_delta)`` where ``pairs`` is ``[(spec, result)]``
-    in group order and ``stats_delta`` the artifact counters this task added.
+    ``task`` is ``(group_index, attempt, specs, injector)``.  Returns
+    ``(pairs, failures, stats_delta)``: ``pairs`` is ``[(spec, result)]``
+    for the specs that succeeded, ``failures`` the classified
+    :class:`FailureRecord`\\ s (full remote traceback included) for those
+    that raised — a per-spec exception never aborts the group, let alone
+    the sweep — and ``stats_delta`` the artifact counters this task added.
     Sharing is scoped to the group (plans and graph artifacts key on the
-    group itself), so per-run results are identical no matter which process a
-    group lands in.
+    group itself), so per-run results are identical no matter which process
+    a group lands in.
     """
+    group_index, attempt, specs, injector = task
     global _WORKER_ARTIFACTS
     if _WORKER_ARTIFACTS is None:
         _WORKER_ARTIFACTS = ArtifactCache()
+    if injector is not None:
+        injector.on_group_start(group_index, attempt, in_worker=True)
     before = _WORKER_ARTIFACTS.stats()
-    pairs = [(spec, execute_spec(spec, _WORKER_ARTIFACTS)) for spec in specs]
+    pairs: List[Tuple[RunSpec, TrainingResult]] = []
+    failures: List[FailureRecord] = []
+    for spec in specs:
+        try:
+            pairs.append(
+                (spec, execute_spec(spec, _WORKER_ARTIFACTS, injector, attempt))
+            )
+        except Exception as error:
+            failures.append(FailureRecord.from_exception(spec, error, attempt + 1))
     after = _WORKER_ARTIFACTS.stats()
     delta = {key: after[key] - before.get(key, 0.0) for key in after}
-    return pairs, delta
+    return pairs, failures, delta
+
+
+@dataclass
+class _GroupTask:
+    """One supervised unit of parallel work: an artifact group attempt."""
+
+    index: int
+    specs: Tuple[RunSpec, ...]
+    attempt: int = 0
+    ready_at: float = 0.0
 
 
 # --------------------------------------------------------------------------- #
@@ -886,13 +1069,49 @@ def _run_group_in_worker(specs: List[RunSpec]):
 # --------------------------------------------------------------------------- #
 @dataclass
 class SweepResult:
-    """Spec-keyed results of one :meth:`SweepEngine.run` call."""
+    """Spec-keyed results of one :meth:`SweepEngine.run` call.
+
+    ``failed`` holds the quarantined specs (retries exhausted, or
+    deterministic failures) with their classified
+    :class:`~repro.experiments.failures.FailureRecord`.  Indexing a failed
+    spec raises :class:`~repro.experiments.failures.SpecExecutionError`
+    with the full remote context; callers that can render partial grids
+    use :meth:`get`/:meth:`value` instead.
+    """
 
     plan: SweepPlan
     results: Dict[RunSpec, TrainingResult] = field(default_factory=dict)
+    failed: Dict[RunSpec, FailureRecord] = field(default_factory=dict)
 
     def __getitem__(self, spec: RunSpec) -> TrainingResult:
-        return self.results[spec]
+        if spec in self.results:
+            return self.results[spec]
+        if spec in self.failed:
+            raise SpecExecutionError(self.failed[spec])
+        raise KeyError(spec)
+
+    def get(
+        self, spec: RunSpec, default: Optional[TrainingResult] = None
+    ) -> Optional[TrainingResult]:
+        return self.results.get(spec, default)
+
+    def value(self, spec: RunSpec, getter):
+        """``getter(result)`` or ``None`` when the spec is missing/failed.
+
+        The figure drivers' accessor for rendering partial grids: a
+        quarantined cell becomes ``None`` (tabulated as ``(missing)``)
+        instead of raising.
+        """
+        result = self.results.get(spec)
+        return None if result is None else getter(result)
+
+    @property
+    def failed_specs(self) -> List[FailureRecord]:
+        """Quarantined specs in plan order (the structured failure report)."""
+        return [self.failed[spec] for spec in self.plan if spec in self.failed]
+
+    def complete(self) -> bool:
+        return not self.failed
 
     def __len__(self) -> int:
         return len(self.results)
@@ -914,6 +1133,22 @@ class SweepEngine:
     share_artifacts:
         Disable to rebuild every input per run (the seed behaviour) while
         keeping memo/store semantics — used by equivalence tests.
+    retry_policy:
+        Failure handling (see :mod:`repro.experiments.failures`): transient
+        and infra failures retry with deterministic seeded backoff,
+        deterministic failures quarantine immediately.  The default policy
+        allows 3 attempts.
+    group_timeout:
+        Per-artifact-group wall-clock budget (seconds) for the parallel
+        executor, measured from task submission.  A group that overruns is
+        presumed hung: its workers are killed, the pool respawned and the
+        in-flight groups requeued.  ``None`` (default) disables timeouts.
+    journal:
+        Optional :class:`SweepJournal` recording per-spec completion and
+        quarantine events as they happen, making interrupted sweeps
+        resumable (pair it with a ``store`` so results survive the crash).
+    fault_injector:
+        Deterministic chaos hook (tests/benchmarks only).
     """
 
     def __init__(
@@ -922,20 +1157,49 @@ class SweepEngine:
         memo_capacity: int = 128,
         max_workers: int = 1,
         share_artifacts: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        group_timeout: Optional[float] = None,
+        journal: Optional[SweepJournal] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.store = store
         self.memo = _LRU(memo_capacity)
         self.max_workers = max(1, int(max_workers))
         self.share_artifacts = bool(share_artifacts)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.group_timeout = group_timeout
+        self.journal = journal
+        self.fault_injector = fault_injector
         self.artifacts = ArtifactCache()
         self.runs_executed = 0
+        #: Session-wide quarantine ledger (negative memo): a spec that
+        #: exhausted its retries is not re-executed by later plans of this
+        #: engine — figure drivers sharing an engine would otherwise re-fail
+        #: the same cell once per figure.
+        self.failed: Dict[RunSpec, FailureRecord] = {}
         self._parallel_artifact_stats: Dict[str, float] = {}
+        self._fault_counters: Dict[str, float] = {
+            "retry_attempts": 0.0,
+            "retry_transient": 0.0,
+            "retry_infra": 0.0,
+            "quarantine_specs": 0.0,
+            "quarantine_memo_hits": 0.0,
+            "worker_crashes": 0.0,
+            "group_timeouts": 0.0,
+            "pool_respawns": 0.0,
+        }
+        self._published = 0
 
     # ------------------------------------------------------------------ #
     def clear_memo(self) -> None:
-        """Drop memoised results and shared artifacts (used by tests)."""
+        """Drop memoised results, shared artifacts and the quarantine ledger."""
         self.memo.clear()
         self.artifacts.clear()
+        self.failed.clear()
+
+    def clear_failures(self) -> None:
+        """Forget quarantined specs so the next plan re-attempts them."""
+        self.failed.clear()
 
     def memo_size(self) -> int:
         return len(self.memo)
@@ -950,14 +1214,22 @@ class SweepEngine:
 
         Specs already memoised (or present in the store) are served from
         cache; the rest execute grouped by :meth:`RunSpec.artifact_group`,
-        either in-process or across ``max_workers`` spawned processes.  The
-        result mapping is keyed by spec and merged in plan order, so serial
-        and parallel execution are bit-identical.
+        either in-process or across ``max_workers`` spawned processes.
+        Results are keyed by spec, so serial and parallel execution produce
+        bit-identical result mappings.  Each result publishes to the memo,
+        the store and the journal *as it completes* — an interrupt loses at
+        most the in-flight runs.  Specs whose retries exhaust land in
+        :attr:`SweepResult.failed` instead of raising.
         """
         workers = self.max_workers if max_workers is None else max(1, int(max_workers))
         sweep = SweepResult(plan=plan)
         pending: List[RunSpec] = []
         for spec in plan:
+            if spec in self.failed:
+                # Quarantined earlier this session: report, don't re-fail.
+                sweep.failed[spec] = self.failed[spec]
+                self._fault_counters["quarantine_memo_hits"] += 1
+                continue
             cached = self.memo.peek(spec)
             if cached is not None:
                 self.memo.hits += 1
@@ -967,6 +1239,11 @@ class SweepEngine:
                     cached = self.store.load(spec)
                     if cached is not None:
                         self.memo.put(spec, cached)
+                        if self.journal is not None:
+                            if self.journal.completed(spec):
+                                self.journal.hits += 1
+                            else:
+                                self.journal.record_done(spec)
             if cached is not None:
                 sweep.results[spec] = cached
             else:
@@ -978,65 +1255,284 @@ class SweepEngine:
             # group there is nothing to overlap and a spawned worker would
             # only add interpreter-start + re-import + pickling overhead.
             if workers > 1 and len(groups) > 1:
-                executed = self._run_parallel(groups, workers)
+                self._run_parallel(groups, workers, sweep)
             else:
-                executed = self._run_serial(groups)
-            for spec, result in executed:
-                sweep.results[spec] = result
-                self.memo.put(spec, result)
-                if self.store is not None:
-                    self.store.save(spec, result)
-                self.runs_executed += 1
+                self._run_serial(groups, sweep)
         return sweep
 
-    def _run_serial(self, groups) -> List[Tuple[RunSpec, TrainingResult]]:
+    # ------------------------------------------------------------------ #
+    def _publish(self, sweep: SweepResult, spec: RunSpec, result: TrainingResult) -> None:
+        """Durably record one completed run the moment it exists."""
+        sweep.results[spec] = result
+        self.memo.put(spec, result)
+        if self.store is not None:
+            self.store.save(spec, result)
+        if self.journal is not None:
+            self.journal.record_done(spec)
+        self.runs_executed += 1
+        self._published += 1
+        if self.fault_injector is not None and self.fault_injector.should_abort(
+            self._published
+        ):
+            raise KeyboardInterrupt(
+                f"sweep aborted by fault injector after {self._published} published runs"
+            )
+
+    def _quarantine(self, sweep: SweepResult, record: FailureRecord) -> None:
+        spec = record.spec
+        sweep.failed[spec] = record
+        self.failed[spec] = record
+        self._fault_counters["quarantine_specs"] += 1
+        if self.journal is not None:
+            self.journal.record_quarantined(record)
+        logger.warning("quarantined %s", record.describe())
+
+    def _count_retry(self, kind: FailureKind) -> None:
+        self._fault_counters["retry_attempts"] += 1
+        key = "retry_transient" if kind is FailureKind.TRANSIENT else "retry_infra"
+        self._fault_counters[key] += 1
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, groups, sweep: Optional[SweepResult] = None) -> SweepResult:
+        if sweep is None:
+            sweep = SweepResult(plan=SweepPlan([]))
         artifacts = self.artifacts if self.share_artifacts else None
-        executed: List[Tuple[RunSpec, TrainingResult]] = []
+        policy = self.retry_policy
+        injector = self.fault_injector
         for specs in groups.values():
             for spec in specs:
-                executed.append((spec, execute_spec(spec, artifacts)))
-        return executed
+                attempt = 0
+                while True:
+                    try:
+                        result = execute_spec(spec, artifacts, injector, attempt)
+                    except Exception as error:
+                        record = FailureRecord.from_exception(spec, error, attempt + 1)
+                        if policy.should_retry(record.kind, attempt):
+                            self._count_retry(record.kind)
+                            time.sleep(policy.delay(record.signature, attempt))
+                            attempt += 1
+                            continue
+                        self._quarantine(sweep, record)
+                        break
+                    self._publish(sweep, spec, result)
+                    break
+        return sweep
 
-    def _run_parallel(self, groups, workers) -> List[Tuple[RunSpec, TrainingResult]]:
-        """Distribute whole artifact groups over spawned worker processes.
+    def _run_parallel(
+        self, groups, workers, sweep: Optional[SweepResult] = None
+    ) -> SweepResult:
+        """Supervised distribution of artifact groups over spawned workers.
 
         Spawn (not fork) keeps workers deterministic and safe with threaded
         BLAS.  One task per group: each group's runs execute in order inside
         one process, so the intra-group artifact reuse pattern — the only
         sharing that can influence per-run work counters — matches serial
         execution exactly.
+
+        Supervision: at most ``workers`` tasks are in flight (so the
+        per-group wall-clock deadline, measured from submission, tracks
+        actual execution).  A worker death (``BrokenProcessPool``) or a
+        deadline overrun kills and respawns the pool and requeues every
+        in-flight group with its attempt count bumped; per-spec failures
+        returned by healthy workers requeue just that spec.  Requeued work
+        waits out the retry policy's deterministic backoff before
+        resubmission; exhausted specs quarantine.  One bad worker therefore
+        never crashes the sweep.
         """
         if not self.share_artifacts:
             raise ValueError("parallel execution requires share_artifacts=True")
-        group_lists = list(groups.values())
-        executed_by_spec: Dict[RunSpec, TrainingResult] = {}
-        context = get_context("spawn")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(group_lists)), mp_context=context
-        ) as pool:
-            futures = [pool.submit(_run_group_in_worker, specs) for specs in group_lists]
-            for future in futures:
-                pairs, stats_delta = future.result()
-                for spec, result in pairs:
-                    executed_by_spec[spec] = result
-                for key, value in stats_delta.items():
-                    self._parallel_artifact_stats[key] = (
-                        self._parallel_artifact_stats.get(key, 0.0) + value
+        if sweep is None:
+            sweep = SweepResult(plan=SweepPlan([]))
+        policy = self.retry_policy
+        injector = self.fault_injector
+        queue = deque(
+            _GroupTask(index, tuple(specs))
+            for index, specs in enumerate(groups.values())
+        )
+        n_workers = min(workers, len(queue))
+        pool: Optional[ProcessPoolExecutor] = None
+        running: Dict[object, Tuple[_GroupTask, float]] = {}
+
+        def spawn_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=get_context("spawn")
+            )
+
+        def kill_pool() -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - best effort cleanup
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+
+        def requeue_or_quarantine(task: _GroupTask, error: Exception, now: float) -> None:
+            """Whole-task failure: retry the group or quarantine its specs."""
+            kind = FailureKind.TRANSIENT
+            if policy.should_retry(kind, task.attempt):
+                self._count_retry(kind)
+                delay = policy.delay(task.specs[0].signature(), task.attempt)
+                queue.append(
+                    _GroupTask(task.index, task.specs, task.attempt + 1, now + delay)
+                )
+                return
+            for spec in task.specs:
+                self._quarantine(
+                    sweep,
+                    FailureRecord(
+                        spec=spec,
+                        signature=spec.signature(),
+                        kind=kind,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=task.attempt + 1,
+                    ),
+                )
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+                # Fill idle workers with ready tasks (in queue order).
+                while queue and len(running) < n_workers:
+                    ready = next(
+                        (i for i, t in enumerate(queue) if t.ready_at <= now), None
                     )
-        # Deterministic merge order: plan order, not completion order.
-        return [
-            (spec, executed_by_spec[spec])
-            for specs in group_lists
-            for spec in specs
-        ]
+                    if ready is None:
+                        break
+                    task = queue[ready]
+                    del queue[ready]
+                    if pool is None:
+                        pool = spawn_pool()
+                    future = pool.submit(
+                        _run_group_in_worker,
+                        (task.index, task.attempt, task.specs, injector),
+                    )
+                    running[future] = (task, time.monotonic())
+                if not running:
+                    # Every remaining task is waiting out its backoff.
+                    next_ready = min(task.ready_at for task in queue)
+                    time.sleep(min(max(next_ready - now, 0.0), 0.25))
+                    continue
+
+                timeout = 0.25
+                if self.group_timeout is not None:
+                    next_deadline = min(
+                        submitted + self.group_timeout
+                        for _, submitted in running.values()
+                    )
+                    timeout = min(timeout, max(next_deadline - now, 0.0))
+                done, _ = wait(set(running), timeout=timeout, return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+
+                pool_broken = False
+                for future in done:
+                    task, _submitted = running.pop(future)
+                    try:
+                        pairs, failures, stats_delta = future.result()
+                    except Exception as error:
+                        # The future died with the worker (or the result did
+                        # not survive the pipe): the pool is suspect.
+                        self._fault_counters["worker_crashes"] += 1
+                        pool_broken = True
+                        requeue_or_quarantine(
+                            task,
+                            WorkerCrashError(
+                                f"worker died while running group {task.index} "
+                                f"(attempt {task.attempt}): {error!r}"
+                            ),
+                            now,
+                        )
+                        continue
+                    for key, value in stats_delta.items():
+                        self._parallel_artifact_stats[key] = (
+                            self._parallel_artifact_stats.get(key, 0.0) + value
+                        )
+                    for spec, result in pairs:
+                        self._publish(sweep, spec, result)
+                    for record in failures:
+                        if policy.should_retry(record.kind, task.attempt):
+                            self._count_retry(record.kind)
+                            delay = policy.delay(record.signature, task.attempt)
+                            queue.append(
+                                _GroupTask(
+                                    task.index,
+                                    (record.spec,),
+                                    task.attempt + 1,
+                                    now + delay,
+                                )
+                            )
+                        else:
+                            self._quarantine(sweep, record)
+
+                if pool_broken:
+                    # Every other in-flight task died with the pool: requeue
+                    # them all and start a fresh pool lazily.
+                    self._fault_counters["pool_respawns"] += 1
+                    for task, _submitted in running.values():
+                        requeue_or_quarantine(
+                            task,
+                            WorkerCrashError(
+                                f"pool respawn while group {task.index} in flight"
+                            ),
+                            now,
+                        )
+                    running.clear()
+                    kill_pool()
+                    continue
+
+                if self.group_timeout is not None and running:
+                    expired = {
+                        future
+                        for future, (_task, submitted) in running.items()
+                        if now - submitted > self.group_timeout
+                    }
+                    if expired:
+                        # A hung worker cannot be cancelled through the pool
+                        # API: kill the processes, respawn, requeue everything
+                        # that was in flight.
+                        self._fault_counters["group_timeouts"] += len(expired)
+                        self._fault_counters["pool_respawns"] += 1
+                        for future, (task, _submitted) in list(running.items()):
+                            if future in expired:
+                                error: Exception = GroupTimeoutError(
+                                    f"group {task.index} exceeded "
+                                    f"{self.group_timeout:.1f}s wall clock "
+                                    f"(attempt {task.attempt})"
+                                )
+                            else:
+                                error = WorkerCrashError(
+                                    f"pool respawn while group {task.index} in flight"
+                                )
+                            requeue_or_quarantine(task, error, now)
+                        running.clear()
+                        kill_pool()
+        except BaseException:
+            kill_pool()
+            raise
+        if pool is not None:
+            pool.shutdown(wait=True)
+        return sweep
 
     # ------------------------------------------------------------------ #
+    def failure_report(self) -> str:
+        """Human-readable report of this session's quarantined specs."""
+        return format_failure_report(
+            [self.failed[spec] for spec in self.failed]
+        )
+
     def summary(self) -> Dict[str, float]:
-        """Flat counter mapping: memo, store and artifact-cache hit rates.
+        """Flat counter mapping: memo, store, artifact and fault counters.
 
         Same stats-plumbing convention as the ``kernel_*`` / cost-engine
         counters: plain ``name → number`` so callers can merge it into
-        benchmark metrics or print it directly.
+        benchmark metrics or print it directly.  The ``retry_*`` /
+        ``quarantine_*`` / ``worker_crashes`` / ``group_timeouts`` /
+        ``pool_respawns`` counters come from the supervised executor; the
+        ``journal_*`` counters from the crash-safe journal when attached.
         """
         stats: Dict[str, float] = {
             "runs_executed": float(self.runs_executed),
@@ -1044,12 +1540,15 @@ class SweepEngine:
             "memo_misses": float(self.memo.misses),
             "memo_evictions": float(self.memo.evictions),
         }
+        stats.update(self._fault_counters)
         artifact_stats = dict(self.artifacts.stats())
         for key, value in self._parallel_artifact_stats.items():
             artifact_stats[key] = artifact_stats.get(key, 0.0) + value
         stats.update(artifact_stats)
         if self.store is not None:
             stats.update(self.store.stats())
+        if self.journal is not None:
+            stats.update(self.journal.stats())
         return stats
 
     def format_summary(self) -> str:

@@ -133,7 +133,12 @@ def aggregate_seed_rows(
 
     Every seed must produce the same table shape with identical non-numeric
     cells (the workload/density labels); numeric cells are replaced by their
-    ``mean ± std`` string across seeds.
+    ``mean ± std`` string across seeds.  ``None`` cells — a quarantined spec
+    under fault-tolerant execution leaves a hole in one seed's grid — are
+    tolerated: a column with every seed missing aggregates to ``None``
+    (rendered ``(missing)``); a partially-missing column averages the
+    surviving replicates and appends a ``[k/N seeds]`` marker so the thinner
+    error bar is never mistaken for a full replication.
     """
     if not rows_per_seed:
         raise ValueError("aggregate_seed_rows needs at least one seed's rows")
@@ -144,13 +149,20 @@ def aggregate_seed_rows(
     for row_cells in zip(*rows_per_seed):
         row: List = []
         for cells in zip(*row_cells):
-            first = cells[0]
+            present = [c for c in cells if c is not None]
+            if not present:
+                row.append(None)
+                continue
+            first = present[0]
             if isinstance(first, (int, float, np.integer, np.floating)) and not isinstance(
                 first, bool
             ):
-                row.append(mean_std([float(c) for c in cells], float_fmt=float_fmt))
+                rendered = mean_std([float(c) for c in present], float_fmt=float_fmt)
+                if len(present) < len(cells):
+                    rendered += f" [{len(present)}/{len(cells)} seeds]"
+                row.append(rendered)
             else:
-                if any(c != first for c in cells[1:]):
+                if any(c != first for c in present[1:]):
                     raise ValueError(
                         f"non-numeric cells differ across seeds: {cells!r}"
                     )

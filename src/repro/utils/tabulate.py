@@ -8,10 +8,16 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Union
 
-Cell = Union[str, int, float]
+Cell = Union[str, int, float, None]
+
+#: Placeholder rendered for ``None`` cells — a quarantined sweep spec leaves a
+#: hole in the grid, and the tables must say so rather than crash.
+MISSING = "(missing)"
 
 
 def _render_cell(cell: Cell, float_fmt: str) -> str:
+    if cell is None:
+        return MISSING
     if isinstance(cell, bool):
         return "Y" if cell else "N"
     if isinstance(cell, float):
