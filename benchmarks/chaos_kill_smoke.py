@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""CI chaos smoke: kill a lease holder mid-run, reclaim, finish the sweep.
+
+A spawned client submits the Fig. 4 grid and dies via ``os._exit(137)``
+right after winning its first lease (the ``kill_lease_holder`` chaos hook),
+leaving a lease file with a live mtime and a dead owner pid.  A surviving
+client pointed at the same root must detect the stale lease, reclaim it
+(``lease_reclaimed ≥ 1``) and drain the queue completely.
+
+Run with the service root in ``REPRO_RUNCACHE_DIR`` (a scratch directory)::
+
+    REPRO_RUNCACHE_DIR=/tmp/chaos_root PYTHONPATH=src \\
+        python benchmarks/chaos_kill_smoke.py
+
+Exits non-zero when the victim survives, the lease is never reclaimed, or
+the queue does not drain — the deep assertions (bit-identity, dedupe rate)
+live in ``benchmarks/test_bench_sweep_service.py``; this script only proves
+the recovery path works end-to-end from a fresh interpreter, CLI-style.
+"""
+
+import multiprocessing
+import os
+import sys
+
+
+def main() -> int:
+    root = os.environ.get("REPRO_RUNCACHE_DIR")
+    if not root:
+        print("set REPRO_RUNCACHE_DIR to a scratch directory", file=sys.stderr)
+        return 2
+
+    from repro.experiments.fig4 import plan_fig4
+    from repro.experiments.service import SweepService, run_client
+
+    plan = plan_fig4(epochs=1)
+    victim_sig = list(plan)[0].signature()
+    context = multiprocessing.get_context("spawn")
+    victim = context.Process(
+        target=run_client,
+        args=(
+            {
+                "root": root,
+                "client_id": "victim",
+                "spec_dicts": [spec.to_dict() for spec in plan],
+                "kill_lease_holder": victim_sig,
+            },
+        ),
+    )
+    victim.start()
+    victim.join(timeout=600)
+    if victim.exitcode != 137:
+        print(f"victim exit code {victim.exitcode}, expected 137", file=sys.stderr)
+        return 1
+
+    survivor = SweepService(client_id="survivor", stale_after=5.0)
+    drained = survivor.drain(timeout=600)
+    stats = survivor.engine.summary()
+    print(survivor.format_status())
+    if drained != len(plan):
+        print(f"drained {drained} of {len(plan)} jobs", file=sys.stderr)
+        return 1
+    if stats["lease_reclaimed"] < 1:
+        print("the orphaned lease was never reclaimed", file=sys.stderr)
+        return 1
+    print(
+        f"ok: victim killed holding {victim_sig[:12]}, "
+        f"{stats['lease_reclaimed']:.0f} lease(s) reclaimed, "
+        f"{drained} job(s) drained"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

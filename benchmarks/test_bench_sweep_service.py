@@ -1,0 +1,209 @@
+"""Service gate — concurrent clients de-duplicate work, survive crashes.
+
+The ROADMAP's service north star made concrete: 4 concurrent client
+processes submitting *overlapping* Fig. 4-shaped grids against one shared
+root must behave like one serial client — every unique signature executes
+exactly once (one lease winner per spec, everyone else served from the
+shared store), the aggregate dedupe hit rate clears 90 %, and the bytes
+every client observes are bit-identical to an independent serial run.
+
+A chaos leg then kills a lease holder right after it wins its lease
+(``os._exit(137)``, no cleanup — the lease file survives with a dead owner
+pid): a surviving client must detect the stale lease, reclaim it
+(``lease_reclaimed ≥ 1``) and finish the sweep bit-identically.
+
+Dedupe accounting: each of the 4 clients submits the same grid 3 times
+(rounds model figure drivers re-requesting their grids), so the 12·|grid|
+spec-requests collapse to |grid| executions — requested-but-not-executed
+is the service's whole value proposition, and the rate is measured from
+the clients' own receipts and counters, not assumed.
+
+Metrics land in ``bench_summary.json`` via ``record_result`` under
+``service.*``; the single-process resilience path is gated by
+``test_bench_sweep_resilience``.
+"""
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.fig4 import plan_fig4
+from repro.experiments.service import LeaseManager, SweepService, run_client
+from repro.experiments.sweeps import SweepEngine
+
+from _bench_utils import bench_epochs, bench_seed, record_result
+from repro.utils.tabulate import format_table
+
+N_CLIENTS = 4
+ROUNDS_PER_CLIENT = 3
+DEDUPE_GATE = 0.90
+
+
+def _plan():
+    """One Fig. 4 grid — the shape every client keeps re-submitting."""
+    return plan_fig4(seed=bench_seed(), epochs=bench_epochs() or 1)
+
+
+def _outcome(result):
+    return {
+        "loss_history": list(result.loss_history),
+        "train_accuracy_history": list(result.train_accuracy_history),
+        "test_accuracy_history": list(result.test_accuracy_history),
+        "final_test_accuracy": result.final_test_accuracy,
+    }
+
+
+def test_bench_sweep_service(run_once, tmp_path):
+    plan = _plan()
+    spec_dicts = [spec.to_dict() for spec in plan]
+    unique = len(plan)
+    context = multiprocessing.get_context("spawn")
+
+    def run():
+        # Serial reference — the bit-identity yardstick and the dedupe
+        # baseline (one client, one round, no sharing).
+        start = time.perf_counter()
+        reference_sweep = SweepEngine().run(plan)
+        serial_s = time.perf_counter() - start
+        reference = {
+            spec.signature(): _outcome(reference_sweep[spec]) for spec in plan
+        }
+
+        # Leg 1: 4 concurrent clients, 3 overlapping rounds each.
+        root = tmp_path / "service"
+        payloads = [
+            {
+                "root": str(root),
+                "client_id": f"bench-{i}",
+                "spec_dicts": spec_dicts,
+                "rounds": ROUNDS_PER_CLIENT,
+                "stale_after": 60.0,
+                "drain_timeout": 600.0,
+            }
+            for i in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=N_CLIENTS, mp_context=context
+        ) as pool:
+            reports = list(pool.map(run_client, payloads))
+        concurrent_s = time.perf_counter() - start
+
+        total_requests = sum(sum(r["receipt"].values()) for r in reports)
+        executed = sum(r["summary"]["runs_executed"] for r in reports)
+        reclaimed = sum(r["summary"]["lease_reclaimed"] for r in reports)
+        races_lost = sum(r["summary"]["store_races_lost"] for r in reports)
+        dedupe_rate = 1.0 - executed / total_requests
+
+        # Exactly one execution per unique signature, ≥90 % dedupe.
+        assert total_requests == N_CLIENTS * ROUNDS_PER_CLIENT * unique
+        assert executed == unique, (executed, unique)
+        assert dedupe_rate >= DEDUPE_GATE, dedupe_rate
+        # Every client observed the reference bytes for every signature.
+        for report in reports:
+            assert report["outcomes"] == reference, report["client_id"]
+        # No torn JSON anywhere under the shared root.
+        for path in root.rglob("*.json"):
+            json.loads(path.read_text())
+
+        # Leg 2: chaos — kill a lease holder mid-run, then recover.
+        chaos_root = tmp_path / "service-chaos"
+        victim_sig = list(plan)[0].signature()
+        victim = context.Process(
+            target=run_client,
+            args=(
+                {
+                    "root": str(chaos_root),
+                    "client_id": "victim",
+                    "spec_dicts": spec_dicts,
+                    "kill_lease_holder": victim_sig,
+                    "stale_after": 60.0,
+                },
+            ),
+        )
+        start = time.perf_counter()
+        victim.start()
+        victim.join(timeout=600)
+        assert victim.exitcode == 137, victim.exitcode
+        probe = LeaseManager(chaos_root / "leases", "probe", stale_after=3600.0)
+        assert victim_sig in probe.active(), "victim died without its lease"
+
+        survivor = SweepService(
+            root=chaos_root, client_id="survivor", stale_after=5.0
+        )
+        drained = survivor.drain(timeout=600)
+        chaos_s = time.perf_counter() - start
+        survivor_stats = survivor.engine.summary()
+
+        assert drained == unique
+        assert survivor_stats["lease_reclaimed"] >= 1.0
+        assert survivor.queue.pending_signatures() == []
+        for spec in plan:
+            assert _outcome(survivor.store.load(spec)) == reference[
+                spec.signature()
+            ], spec
+
+        return (
+            serial_s,
+            concurrent_s,
+            chaos_s,
+            dedupe_rate,
+            executed,
+            total_requests,
+            reclaimed,
+            races_lost,
+            survivor_stats,
+        )
+
+    (
+        serial_s,
+        concurrent_s,
+        chaos_s,
+        dedupe_rate,
+        executed,
+        total_requests,
+        reclaimed,
+        races_lost,
+        survivor_stats,
+    ) = run_once(run)
+
+    rows = [
+        ["serial reference (1 client, 1 round)", serial_s, "-"],
+        [
+            f"{N_CLIENTS} clients × {ROUNDS_PER_CLIENT} rounds, shared root",
+            concurrent_s,
+            f"{dedupe_rate:.1%} dedupe, {executed:.0f}/{total_requests} executed",
+        ],
+        [
+            "lease-holder kill + reclaim",
+            chaos_s,
+            f"{survivor_stats['lease_reclaimed']:.0f} reclaimed",
+        ],
+    ]
+    record_result(
+        "sweep_service",
+        format_table(
+            ["Scenario", "Wall clock (s)", "Dedupe / recovery"],
+            rows,
+            float_fmt=".3f",
+            title=(
+                "Concurrent sweep service — lease-based single-flight, "
+                "bit-identical results"
+            ),
+        ),
+        metrics={
+            "service.serial_s": serial_s,
+            "service.concurrent_s": concurrent_s,
+            "service.chaos_s": chaos_s,
+            "service.clients": float(N_CLIENTS),
+            "service.rounds_per_client": float(ROUNDS_PER_CLIENT),
+            "service.spec_requests": float(total_requests),
+            "service.runs_executed": float(executed),
+            "service.dedupe_rate": dedupe_rate,
+            "service.store_races_lost": races_lost,
+            "service.healthy_lease_reclaims": reclaimed,
+            "service.chaos_lease_reclaimed": survivor_stats["lease_reclaimed"],
+            "service.chaos_runs_executed": survivor_stats["runs_executed"],
+        },
+    )

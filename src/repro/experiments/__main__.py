@@ -24,6 +24,14 @@ recomputes only unfinished specs (implies ``--store``), and any spec that
 exhausts its retries is quarantined: the grid still renders (missing cells
 marked), a failure report prints, and the exit status is 1 so CI catches
 partial sweeps.  A ``Ctrl-C`` exits 130 with a resume hint.
+
+Sweep service (multi-client, crash-safe — see
+:mod:`repro.experiments.service`)::
+
+    python -m repro.experiments submit fig4 --epochs 1   # queue a grid
+    python -m repro.experiments serve --idle-exit 5      # execute until idle
+    python -m repro.experiments drain                    # execute until empty
+    python -m repro.experiments status                   # counters + failures
 """
 
 from __future__ import annotations
@@ -186,7 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: List[str] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv_list = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv_list and argv_list[0] in ("serve", "submit", "status", "drain"):
+        # Sweep-service subcommands (shared queue + leases over the run
+        # cache) live in their own module with their own parser.
+        from repro.experiments.service import cli_main
+
+        return cli_main(argv_list)
+    args = build_parser().parse_args(argv_list)
     if args.list:
         for name in ALL_FIGURES:
             print(name)

@@ -68,7 +68,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field, fields, replace
 from multiprocessing import get_context
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -775,6 +775,36 @@ def default_store_dir() -> Path:
     return Path.cwd() / ".repro_runcache"
 
 
+def fsync_directory(directory: Path) -> None:
+    """fsync a directory entry so a rename/create survives a crash.
+
+    ``os.replace`` is atomic against concurrent readers, but the *rename
+    itself* is only durable once the containing directory's entry is synced.
+    Best-effort: platforms that cannot open a directory simply skip it.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Durably publish ``text`` at ``path`` via fsync'd temp-file + rename."""
+    temp = path.with_suffix(f".tmp.{os.getpid()}")
+    with temp.open("w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    fsync_directory(path.parent)
+
+
 class ResultStore:
     """Persistent JSON result store keyed by :meth:`RunSpec.signature`.
 
@@ -783,7 +813,20 @@ class ResultStore:
     the stored signature still matches the spec's current signature; stale
     files (version bumps, semantic changes) are deleted and reported as
     invalidations.
+
+    The store is **multi-process safe**: publishes are fsync'd temp-file +
+    ``os.replace`` (a reader never sees a torn file), readers tolerate a
+    concurrent process deleting or replacing an entry at any point between
+    existence check and read (counted as a miss, never a crash), and a
+    duplicate publish of the same signature — two processes that both
+    executed a spec because single-flight was broken or bypassed — is
+    counted in ``races_lost`` (content-addressed results are bit-identical,
+    so the last write is harmless).
     """
+
+    #: Age (seconds) below which an atomic-write temp file is presumed to
+    #: belong to a live in-flight save of another process and is left alone.
+    TEMP_TTL = 60.0
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_store_dir()
@@ -791,6 +834,7 @@ class ResultStore:
         self.misses = 0
         self.writes = 0
         self.invalidations = 0
+        self.races_lost = 0
         self._pruned = False
 
     def path(self, spec: RunSpec) -> Path:
@@ -810,13 +854,26 @@ class ResultStore:
         for path in self.directory.glob("*.json"):
             try:
                 version = json.loads(path.read_text()).get("signature_version")
+            except FileNotFoundError:
+                # A concurrent process deleted/replaced the entry between the
+                # directory listing and the read — nothing left to prune.
+                continue
             except (OSError, json.JSONDecodeError):
                 version = None
             if version != SIGNATURE_VERSION:
                 self._invalidate(path)
                 removed += 1
         # Orphaned atomic-write temp files (crash between write and replace).
+        # Age-gated: a *fresh* temp file belongs to another process's
+        # in-flight save and deleting it would make that save's os.replace
+        # fail from under it.
+        now = time.time()
         for path in self.directory.glob("*.tmp.*"):
+            try:
+                if now - path.stat().st_mtime < self.TEMP_TTL:
+                    continue
+            except OSError:
+                continue
             self._invalidate(path)
             removed += 1
         return removed
@@ -827,6 +884,9 @@ class ResultStore:
             self.prune_stale()
         path = self.path(spec)
         try:
+            # Read without an existence pre-check: a concurrent process may
+            # delete/replace the entry (e.g. invalidating a corrupt file) at
+            # any moment, so FileNotFoundError is an ordinary miss here.
             payload = json.loads(path.read_text())
         except FileNotFoundError:
             self.misses += 1
@@ -866,9 +926,20 @@ class ResultStore:
         # invalidate-delete) a half-written file, and a crash mid-write must
         # not leave a truncated one behind.
         path = self.path(spec)
-        temp = path.with_suffix(f".tmp.{os.getpid()}")
-        temp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        os.replace(temp, path)
+        if path.exists():
+            # Another process published this signature first (duplicate
+            # execution — single-flight was bypassed or its lease reclaimed).
+            # Results are bit-identical per signature, so replacing is safe;
+            # the counter is what surfaces the lost race.
+            self.races_lost += 1
+        try:
+            _atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        except FileNotFoundError:
+            # Our temp file vanished (an over-eager concurrent prune): the
+            # result is recomputable and likely already published by the
+            # other side — count the lost race instead of crashing the run.
+            self.races_lost += 1
+            return
         self.writes += 1
 
     def _invalidate(self, path: Path) -> None:
@@ -884,6 +955,7 @@ class ResultStore:
             "store_misses": float(self.misses),
             "store_writes": float(self.writes),
             "store_invalidations": float(self.invalidations),
+            "store_races_lost": float(self.races_lost),
         }
 
 
@@ -903,8 +975,21 @@ class SweepJournal:
     the store, ``quarantined`` when it exhausted its retries), tagged with
     the run signature and :data:`SIGNATURE_VERSION`.  Appends are flushed
     and fsync'd per record; a crash can at worst tear the *last* line, which
-    the loader skips (and compacts away with an atomic temp-file+rename
-    rewrite, the same publish discipline as :meth:`ResultStore.save`).
+    the loader skips (and compacts away with an atomic fsync'd
+    temp-file+rename rewrite, the same publish discipline as
+    :meth:`ResultStore.save`, so a crash mid-compaction can never lose the
+    journal).
+
+    **Per-client journals.**  With a ``client_id`` the journal appends to its
+    own file (``<stem>.<client_id>.jsonl`` next to the base path) and *merges*
+    every sibling client journal on load, so N concurrent processes each own
+    one append-only file (no cross-process interleaving, no torn lines from
+    concurrent appends) while all of them see the union of completed work.
+    Merge rule: ``done`` from any client beats ``quarantined`` from any other
+    (the result exists in the store); compaction rewrites only the *own*
+    file, never a sibling's.  Without a ``client_id`` the journal writes the
+    base path directly — the single-process behaviour of earlier sessions —
+    but still merges any sibling client files left by service runs.
 
     Resume semantics: the journal is the audit trail, the store holds the
     data.  On ``--resume`` the engine serves every journaled-``done`` spec
@@ -915,52 +1000,107 @@ class SweepJournal:
 
     VERSION = 1
 
-    def __init__(self, path: Optional[Path] = None) -> None:
-        self.path = Path(path) if path is not None else default_journal_path()
+    def __init__(
+        self, path: Optional[Path] = None, client_id: Optional[str] = None
+    ) -> None:
+        self.base_path = Path(path) if path is not None else default_journal_path()
+        self.client_id = client_id
+        if client_id is None:
+            self.path = self.base_path
+        else:
+            if "/" in client_id or client_id.startswith("."):
+                raise ValueError(f"invalid journal client_id {client_id!r}")
+            self.path = self.base_path.with_name(
+                f"{self.base_path.stem}.{client_id}{self.base_path.suffix}"
+            )
+        #: Merged view across every client journal (status queries).
         self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        #: Entries owned by this journal's write path (what compaction keeps).
+        self._own: "OrderedDict[str, Dict]" = OrderedDict()
         self.writes = 0
         self.hits = 0
         self.corrupt_lines = 0
+        self.merged_clients = 0
         self._load()
 
     # ------------------------------------------------------------------ #
-    def _load(self) -> None:
-        try:
-            text = self.path.read_text()
-        except OSError:
+    def _sibling_paths(self) -> List[Path]:
+        """Every journal file of this base path, own file last.
+
+        Own-last ordering makes this journal's own entries win same-status
+        ties in the merged view (the ``done``-beats-``quarantined`` rule is
+        applied per entry regardless of order).
+        """
+        pattern = f"{self.base_path.stem}*{self.base_path.suffix}"
+        siblings = sorted(
+            p for p in self.base_path.parent.glob(pattern) if p != self.path
+        )
+        return siblings + [self.path]
+
+    def _merge_entry(self, entry: Dict) -> None:
+        signature = entry["signature"]
+        current = self._entries.get(signature)
+        if (
+            current is not None
+            and current.get("status") == "done"
+            and entry.get("status") != "done"
+        ):
+            # A quarantine report from one client never shadows another
+            # client's completed result — the data is in the store.
             return
-        stale = 0
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
+        self._entries[signature] = entry
+
+    def _load(self) -> None:
+        own_dirty = False
+        for file in self._sibling_paths():
+            is_own = file == self.path
             try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                self.corrupt_lines += 1
+                text = file.read_text()
+            except OSError:
                 continue
-            if (
-                entry.get("journal_version") != self.VERSION
-                or entry.get("signature_version") != SIGNATURE_VERSION
-                or "signature" not in entry
-            ):
-                stale += 1
-                continue
-            self._entries[entry["signature"]] = entry
-        if self.corrupt_lines or stale:
+            if not is_own:
+                self.merged_clients += 1
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail of a crashed writer.  Only the owner compacts
+                    # a file; a sibling's torn line is skipped and left for
+                    # its owner to clean up.
+                    self.corrupt_lines += 1
+                    own_dirty = own_dirty or is_own
+                    continue
+                if (
+                    entry.get("journal_version") != self.VERSION
+                    or entry.get("signature_version") != SIGNATURE_VERSION
+                    or "signature" not in entry
+                ):
+                    own_dirty = own_dirty or is_own
+                    continue
+                self._merge_entry(entry)
+                if is_own:
+                    self._own[entry["signature"]] = entry
+        if own_dirty:
             self._compact()
 
     def _compact(self) -> None:
-        """Atomically rewrite the journal from the in-memory entries."""
+        """Atomically rewrite *this client's* journal from its own entries.
+
+        Write-to-temp in the same directory, ``os.replace``, then fsync the
+        directory entry (via :func:`_atomic_write`) — a crash at any point
+        leaves either the old or the new journal, never neither.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_suffix(f".tmp.{os.getpid()}")
-        temp.write_text(
+        _atomic_write(
+            self.path,
             "".join(
                 json.dumps(entry, sort_keys=True) + "\n"
-                for entry in self._entries.values()
-            )
+                for entry in self._own.values()
+            ),
         )
-        os.replace(temp, self.path)
 
     def _record(self, signature: str, payload: Dict) -> None:
         entry = {
@@ -969,8 +1109,9 @@ class SweepJournal:
             "signature": signature,
             **payload,
         }
-        first = signature not in self._entries
-        self._entries[signature] = entry
+        first = signature not in self._own
+        self._own[signature] = entry
+        self._merge_entry(entry)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if first:
             # Append-only fast path: one flushed+fsync'd line per event.
@@ -1010,6 +1151,7 @@ class SweepJournal:
             "journal_writes": float(self.writes),
             "journal_hits": float(self.hits),
             "journal_corrupt_lines": float(self.corrupt_lines),
+            "journal_merged_clients": float(self.merged_clients),
         }
 
 
@@ -1189,8 +1331,22 @@ class SweepEngine:
             "pool_respawns": 0.0,
         }
         self._published = 0
+        #: External counter providers (e.g. the sweep service's queue and
+        #: lease manager) merged into :meth:`summary` — same flat
+        #: ``name → number`` convention as every other stats source.
+        self._stats_providers: List[Callable[[], Dict[str, float]]] = []
 
     # ------------------------------------------------------------------ #
+    def register_stats(self, provider: Callable[[], Dict[str, float]]) -> None:
+        """Merge ``provider()`` (flat ``name → number``) into :meth:`summary`.
+
+        The sweep service registers its queue and lease counters here so
+        ``lease_acquired`` / ``queue_dedupe_hits`` flow through the same
+        :meth:`summary` / :meth:`format_summary` channel as the engine's own
+        counters.  Later registrations win on key collisions.
+        """
+        self._stats_providers.append(provider)
+
     def clear_memo(self) -> None:
         """Drop memoised results, shared artifacts and the quarantine ledger."""
         self.memo.clear()
@@ -1549,6 +1705,8 @@ class SweepEngine:
             stats.update(self.store.stats())
         if self.journal is not None:
             stats.update(self.journal.stats())
+        for provider in self._stats_providers:
+            stats.update(provider())
         return stats
 
     def format_summary(self) -> str:

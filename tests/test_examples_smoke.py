@@ -1,11 +1,12 @@
-"""Smoke test executing the README's first command.
+"""Smoke tests executing the README's advertised commands.
 
 ``examples/quickstart.py`` is the advertised entry point of the repository;
 running it (tiny configuration, a second or two) inside tier-1 means the
 README's quickstart can never silently rot.  The example is executed as a
 real subprocess — fresh interpreter, ``PYTHONPATH=src`` exactly as the
 README instructs — not imported, so argument parsing and the module guard
-are exercised too.
+are exercised too.  The "serve a sweep" quickstart (submit → drain →
+status) is smoked the same way.
 """
 
 import os
@@ -16,24 +17,37 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def test_quickstart_example_runs_end_to_end():
+def _run(cmd, env, timeout=180):
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def _src_env(**extra):
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
-    proc = subprocess.run(
+    env.update(extra)
+    return env
+
+
+def test_quickstart_example_runs_end_to_end():
+    env = _src_env()
+    proc = _run(
         [
             sys.executable,
             str(REPO_ROOT / "examples" / "quickstart.py"),
             "--epochs",
             "2",
         ],
-        capture_output=True,
-        text=True,
-        env=env,
-        timeout=180,
-        cwd=str(REPO_ROOT),
+        env,
     )
     assert proc.returncode == 0, f"quickstart failed:\n{proc.stderr}"
     # The comparison table and the closing summary must both be present.
@@ -41,3 +55,23 @@ def test_quickstart_example_runs_end_to_end():
         assert needle in proc.stdout, (
             f"expected {needle!r} in quickstart output:\n{proc.stdout}"
         )
+
+
+def test_readme_serve_a_sweep_quickstart(tmp_path):
+    """The README's submit → drain → status sequence, verbatim commands."""
+    env = _src_env(REPRO_RUNCACHE_DIR=str(tmp_path / "runcache"))
+    module = [sys.executable, "-m", "repro.experiments"]
+
+    submit = _run(module + ["submit", "fig4", "--epochs", "1"], env)
+    assert submit.returncode == 0, f"submit failed:\n{submit.stderr}"
+    assert "submitted 7 job(s)" in submit.stdout
+
+    drain = _run(module + ["drain"], env, timeout=300)
+    assert drain.returncode == 0, f"drain failed:\n{drain.stderr}"
+    assert "drained 7 job(s)" in drain.stdout
+    assert "lease_acquired" in drain.stdout
+
+    status = _run(module + ["status"], env)
+    assert status.returncode == 0, f"status failed:\n{status.stderr}"
+    assert "sweep service status" in status.stdout
+    assert "failure report: no quarantined specs" in status.stdout
