@@ -56,7 +56,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.cost_engine import MappingCostEngine, block_row_cost_matrix
+from repro.core.cost_engine import (
+    MappingCostEngine,
+    PlanContext,
+    block_row_cost_matrix,
+)
 from repro.hardware.faults import FaultMap
 from repro.matching.bipartite import solve_assignment
 from repro.matching.hungarian import hungarian_assignment
@@ -65,6 +69,7 @@ __all__ = [
     "BatchMapping",
     "BlockMapping",
     "FaultAwareMapper",
+    "MapperPlanState",
     "block_crossbar_cost",
     "block_row_cost_matrix",  # re-exported single source: core.cost_engine
     "permutation_mismatch_cost",
@@ -192,6 +197,22 @@ class BatchMapping:
 
     def __len__(self) -> int:
         return len(self.blocks)
+
+
+@dataclass
+class MapperPlanState:
+    """Opaque warm-start state of one :meth:`FaultAwareMapper.plan_blocks` call.
+
+    Carries one engine :class:`~repro.core.cost_engine.PlanContext` per block
+    chunk (blocks are mapped ``num_crossbars`` at a time when the batch has
+    more blocks than crossbars).  Feed it back into
+    :meth:`FaultAwareMapper.replan_blocks` after a fault-map delta; it is
+    never required for correctness — a missing or stale state simply means a
+    cold re-plan.
+    """
+
+    num_crossbars: int
+    chunk_contexts: List[Optional[PlanContext]]
 
 
 def sequential_mapping(
@@ -369,36 +390,126 @@ class FaultAwareMapper:
             Physical ids of the candidate crossbars; defaults to
             ``0..len(fault_maps)-1``.
         """
+        mapping, _ = self._plan(
+            blocks, fault_maps, crossbar_ids, prev_state=None, capture=False
+        )
+        return mapping
+
+    def plan_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        fault_maps: Sequence[FaultMap],
+        crossbar_ids: Optional[Sequence[int]] = None,
+    ) -> Tuple[BatchMapping, Optional[MapperPlanState]]:
+        """:meth:`map_blocks` that also returns warm-start state for re-plans.
+
+        The mapping is bit-identical to :meth:`map_blocks`; the extra
+        :class:`MapperPlanState` seeds :meth:`replan_blocks` after a fault-map
+        delta.  Without a cost engine the state is an empty shell and every
+        re-plan runs cold.
+        """
+        return self._plan(blocks, fault_maps, crossbar_ids, None, capture=True)
+
+    def replan_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        fault_maps: Sequence[FaultMap],
+        crossbar_ids: Optional[Sequence[int]] = None,
+        prev_state: Optional[MapperPlanState] = None,
+    ) -> Tuple[BatchMapping, Optional[MapperPlanState]]:
+        """Re-run Algorithm 1 after a fault-map delta, warm-started.
+
+        Only the (block, crossbar) pairs whose fault maps changed since
+        ``prev_state`` was produced are re-solved; the outer block → crossbar
+        assignment, pruning, and relaxation are re-run on the spliced cost
+        grid, so the result is bit-identical to a cold :meth:`map_blocks` on
+        the new maps.  A stale or missing ``prev_state`` degrades to that
+        cold plan (counted in ``delta_full_replans``).
+        """
+        return self._plan(blocks, fault_maps, crossbar_ids, prev_state, capture=True)
+
+    def _plan(
+        self,
+        blocks: Sequence[np.ndarray],
+        fault_maps: Sequence[FaultMap],
+        crossbar_ids: Optional[Sequence[int]],
+        prev_state: Optional[MapperPlanState],
+        capture: bool,
+    ) -> Tuple[BatchMapping, Optional[MapperPlanState]]:
         num_blocks = len(blocks)
         num_crossbars = len(fault_maps)
         if num_blocks == 0:
-            return BatchMapping(blocks=[])
+            return BatchMapping(blocks=[]), (
+                MapperPlanState(num_crossbars, []) if capture else None
+            )
         if num_crossbars == 0:
             raise ValueError("need at least one crossbar")
-        if num_blocks > num_crossbars:
-            # More blocks than crossbars: the crossbars are time-multiplexed —
-            # map one chunk of (at most) m blocks at a time, each chunk with
-            # an injective assignment, and concatenate the results.
-            merged = BatchMapping(blocks=[])
-            for start in range(0, num_blocks, num_crossbars):
-                chunk = blocks[start : start + num_crossbars]
-                chunk_mapping = self.map_blocks(chunk, fault_maps, crossbar_ids)
-                for block_mapping in chunk_mapping.blocks:
-                    block_mapping.block_index += start
-                merged.blocks.extend(chunk_mapping.blocks)
-                merged.pruned_crossbars.extend(chunk_mapping.pruned_crossbars)
-                merged.relaxed_blocks.extend(
-                    index + start for index in chunk_mapping.relaxed_blocks
-                )
-            merged.blocks.sort(key=lambda m: m.block_index)
-            return merged
         ids = list(crossbar_ids) if crossbar_ids is not None else list(range(num_crossbars))
         if len(ids) != num_crossbars:
             raise ValueError("crossbar_ids length must match fault_maps length")
 
-        costs, sa1_mismatches, permutation_for = self._pairwise_costs(
-            blocks, fault_maps
+        # More blocks than crossbars: the crossbars are time-multiplexed —
+        # map one chunk of (at most) m blocks at a time, each chunk with an
+        # injective assignment, and concatenate the results.
+        starts = list(range(0, num_blocks, num_crossbars))
+        contexts: List[Optional[PlanContext]] = [None] * len(starts)
+        if prev_state is not None:
+            if (
+                prev_state.num_crossbars == num_crossbars
+                and len(prev_state.chunk_contexts) == len(starts)
+            ):
+                contexts = list(prev_state.chunk_contexts)
+            elif self.cost_engine is not None:
+                self.cost_engine.stats.delta_full_replans += 1
+        if len(starts) == 1:
+            mapping, context = self._map_chunk(
+                blocks, fault_maps, ids, contexts[0], capture
+            )
+            return mapping, (
+                MapperPlanState(num_crossbars, [context]) if capture else None
+            )
+        merged = BatchMapping(blocks=[])
+        new_contexts: List[Optional[PlanContext]] = []
+        for chunk_index, start in enumerate(starts):
+            chunk = blocks[start : start + num_crossbars]
+            chunk_mapping, context = self._map_chunk(
+                chunk, fault_maps, ids, contexts[chunk_index], capture
+            )
+            new_contexts.append(context)
+            for block_mapping in chunk_mapping.blocks:
+                block_mapping.block_index += start
+            merged.blocks.extend(chunk_mapping.blocks)
+            merged.pruned_crossbars.extend(chunk_mapping.pruned_crossbars)
+            merged.relaxed_blocks.extend(
+                index + start for index in chunk_mapping.relaxed_blocks
+            )
+        merged.blocks.sort(key=lambda m: m.block_index)
+        return merged, (
+            MapperPlanState(num_crossbars, new_contexts) if capture else None
         )
+
+    def _map_chunk(
+        self,
+        blocks: Sequence[np.ndarray],
+        fault_maps: Sequence[FaultMap],
+        ids: List[int],
+        prev_context: Optional[PlanContext],
+        capture: bool,
+    ) -> Tuple[BatchMapping, Optional[PlanContext]]:
+        """Algorithm 1 core for one chunk of at most ``len(fault_maps)`` blocks."""
+        num_blocks = len(blocks)
+        num_crossbars = len(fault_maps)
+        context: Optional[PlanContext] = None
+        if capture and self.cost_engine is not None:
+            costs, sa1_mismatches, permutation_for, context = (
+                self.cost_engine.plan_pairwise(
+                    blocks, fault_maps, prev_context=prev_context
+                )
+            )
+        else:
+            costs, sa1_mismatches, permutation_for = self._pairwise_costs(
+                blocks, fault_maps
+            )
         densities = self._block_densities(blocks)
         block_cells = float(np.asarray(blocks[0]).size)
 
@@ -474,8 +585,11 @@ class FaultAwareMapper:
             )
 
         block_mappings.sort(key=lambda m: m.block_index)
-        return BatchMapping(
-            blocks=block_mappings, pruned_crossbars=pruned, relaxed_blocks=relaxed
+        return (
+            BatchMapping(
+                blocks=block_mappings, pruned_crossbars=pruned, relaxed_blocks=relaxed
+            ),
+            context,
         )
 
     # ------------------------------------------------------------------ #

@@ -13,11 +13,12 @@ drivers one-to-one, and ``EXPERIMENTS.md`` records the measured numbers next
 to the paper's.
 """
 
-from repro.experiments import configs, runner, sweeps, tables
+from repro.experiments import configs, lifetime, runner, sweeps, tables
 from repro.experiments import fig3, fig4, fig5, fig6, fig7, headline
 
 __all__ = [
     "configs",
+    "lifetime",
     "runner",
     "sweeps",
     "tables",

@@ -32,6 +32,12 @@ Sweep service (multi-client, crash-safe — see
     python -m repro.experiments serve --idle-exit 5      # execute until idle
     python -m repro.experiments drain                    # execute until empty
     python -m repro.experiments status                   # counters + failures
+
+Device-lifetime scenario (endurance wear-out + incremental re-planning —
+see :mod:`repro.experiments.lifetime`)::
+
+    python -m repro.experiments lifetime --epochs 2      # accuracy vs writes
+    python -m repro.experiments lifetime --grid          # cross-density grid
 """
 
 from __future__ import annotations
@@ -201,6 +207,13 @@ def main(argv: List[str] = None) -> int:
         from repro.experiments.service import cli_main
 
         return cli_main(argv_list)
+    if argv_list and argv_list[0] == "lifetime":
+        # Device-lifetime scenario (endurance wear-out + incremental
+        # re-planning) — sequential and stateful, so it has its own driver
+        # rather than a sweep grid.
+        from repro.experiments.lifetime import cli_main as lifetime_main
+
+        return lifetime_main(argv_list[1:])
     args = build_parser().parse_args(argv_list)
     if args.list:
         for name in ALL_FIGURES:

@@ -12,7 +12,7 @@ finer-grained analyses in the test-suite and ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -52,6 +52,89 @@ class EnduranceModel:
         """Expected number of failed cells among ``num_cells`` after ``writes``."""
         num_cells = check_positive_int(num_cells, "num_cells")
         return self.failure_probability(writes) * num_cells
+
+    def writes_for_probability(self, probability: float) -> float:
+        """Inverse of :meth:`failure_probability` (write count at that P).
+
+        Solved by bisection on ``log10(writes)`` — the CDF is strictly
+        monotone there — so no inverse error function dependency is needed.
+        """
+        if not 0.0 < probability < 1.0:
+            raise ValueError(
+                f"probability must lie strictly in (0, 1), got {probability}"
+            )
+        centre = float(np.log10(self.mean_endurance))
+        # ±12 sigma brackets every probability representable in float64.
+        lo = centre - 12.0 * self.sigma_log10
+        hi = centre + 12.0 * self.sigma_log10
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.failure_probability(10.0**mid) < probability:
+                lo = mid
+            else:
+                hi = mid
+        return 10.0 ** (0.5 * (lo + hi))
+
+
+@dataclass(frozen=True)
+class WearOutSchedule:
+    """Fault-density checkpoints along a device's write-cycle lifetime.
+
+    Where :class:`PostDeploymentSchedule` spreads a fixed extra density
+    uniformly over one training run, this schedule follows the endurance
+    model itself: at each write-count checkpoint the cumulative population
+    fault density equals the model's failure probability, and the per-step
+    :meth:`density_increments` drive incremental re-planning in the
+    ``lifetime`` experiment (:mod:`repro.experiments.lifetime`).
+    """
+
+    model: EnduranceModel
+    write_checkpoints: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.write_checkpoints:
+            raise ValueError("write_checkpoints must not be empty")
+        previous = 0.0
+        for writes in self.write_checkpoints:
+            if writes <= previous:
+                raise ValueError(
+                    "write_checkpoints must be positive and strictly increasing"
+                )
+            previous = writes
+
+    @classmethod
+    def log_spaced(
+        cls,
+        model: EnduranceModel,
+        start_probability: float = 0.002,
+        stop_probability: float = 0.2,
+        num_checkpoints: int = 6,
+    ) -> "WearOutSchedule":
+        """Checkpoints log-spaced between two failure-probability levels."""
+        num_checkpoints = check_positive_int(num_checkpoints, "num_checkpoints")
+        if not 0.0 < start_probability < stop_probability < 1.0:
+            raise ValueError(
+                "need 0 < start_probability < stop_probability < 1, got "
+                f"({start_probability}, {stop_probability})"
+            )
+        start = model.writes_for_probability(start_probability)
+        stop = model.writes_for_probability(stop_probability)
+        writes = np.logspace(np.log10(start), np.log10(stop), num_checkpoints)
+        return cls(model=model, write_checkpoints=tuple(float(w) for w in writes))
+
+    def cumulative_densities(self) -> List[float]:
+        """Population fault density expected at each checkpoint."""
+        return [
+            self.model.failure_probability(writes)
+            for writes in self.write_checkpoints
+        ]
+
+    def density_increments(self) -> List[float]:
+        """Fresh fault density to inject when arriving at each checkpoint."""
+        cumulative = self.cumulative_densities()
+        return [cumulative[0]] + [
+            cumulative[k] - cumulative[k - 1] for k in range(1, len(cumulative))
+        ]
 
 
 @dataclass(frozen=True)

@@ -153,6 +153,7 @@ class FaultyTrainer:
         post_deployment: Optional[PostDeploymentSchedule] = None,
         use_hw_state_cache: bool = True,
         artifacts: Optional[TrainerArtifacts] = None,
+        replan_on_rescan: bool = False,
     ) -> None:
         self.graph = graph
         self.model_name = model_name.lower()
@@ -161,6 +162,13 @@ class FaultyTrainer:
         self.hardware = hardware
         self.post_deployment = post_deployment
         self.artifacts = artifacts or TrainerArtifacts()
+        #: Epoch-end reaction to the BIST re-scan: ``False`` (paper protocol)
+        #: keeps the block → crossbar assignment Π and only refreshes row
+        #: permutations; ``True`` re-plans the full mapping against the new
+        #: fault maps via :meth:`Strategy.replan_adjacency` — warm-started
+        #: from the previous plan when the strategy supports delta planning
+        #: (the lifetime experiment's mode).
+        self.replan_on_rescan = bool(replan_on_rescan)
         #: Epoch-cached hardware read-back (see :mod:`repro.core.hw_state`).
         #: ``False`` restores the seed per-batch recomputation path exactly —
         #: per-block program/read loops and the unfused weight pipeline — for
@@ -400,19 +408,63 @@ class FaultyTrainer:
             return
         if self.post_deployment is None:
             return
-        self.hardware.inject_post_deployment(self.post_deployment.per_epoch_density)
+        self.apply_fault_delta(
+            self.post_deployment.per_epoch_density, replan=self.replan_on_rescan
+        )
+
+    def apply_fault_delta(
+        self, extra_density: float, replan: bool = False
+    ) -> BISTReport:
+        """Inject extra faults, BIST re-scan, and refresh or re-plan mappings.
+
+        This is the full post-deployment reaction cycle, callable both from
+        the epoch loop and externally (the lifetime experiment drives it from
+        an endurance wear-out schedule).  The injection always runs — even at
+        density 0.0 — so the hardware RNG stream advances exactly as it did
+        on the pre-factored epoch path (bit-identical histories).  With
+        ``replan=True`` the strategy recomputes the complete block → crossbar
+        plan (delta-warm-started when supported) instead of the Π-preserving
+        row-permutation refresh.  Returns the fresh BIST report.
+        """
+        self.hardware.inject_post_deployment(extra_density)
         report = self.hardware.bist.scan(self._adjacency_mapper.crossbars)
         self._weight_mapper.refresh_fault_masks()
-        fault_maps_by_id = dict(
-            zip(self._adjacency_mapper.crossbar_ids, report.fault_maps)
-        )
-        self._plans = self.strategy.refresh_adjacency(
-            self._plans, self._blocks_per_batch, fault_maps_by_id
-        )
+        if replan:
+            self._plans = self.strategy.replan_adjacency(
+                self._blocks_per_batch,
+                report.fault_maps,
+                self._adjacency_mapper.crossbar_ids,
+                self.hardware.config.crossbar_rows,
+            )
+        else:
+            fault_maps_by_id = dict(
+                zip(self._adjacency_mapper.crossbar_ids, report.fault_maps)
+            )
+            self._plans = self.strategy.refresh_adjacency(
+                self._plans, self._blocks_per_batch, fault_maps_by_id
+            )
         # Fault maps and (potentially) plans changed: cached read-backs are
         # stale.  The fault-map component of the cache key advances on its
         # own (crossbar fault epochs); this bump covers the plan refresh.
         self._hw_cache.bump_plan_version()
+        return report
+
+    @property
+    def plans(self) -> Optional[List[BatchMapping]]:
+        """The current per-batch adjacency mapping plans (read-only view)."""
+        return self._plans
+
+    @property
+    def blocks_per_batch(self) -> Optional[List[List[np.ndarray]]]:
+        """Per-batch adjacency blocks (read-only view, set by preprocessing)."""
+        return self._blocks_per_batch
+
+    @property
+    def adjacency_crossbar_ids(self) -> Optional[List[int]]:
+        """Physical ids of the adjacency crossbars (read-only view)."""
+        if self._adjacency_mapper is None:
+            return None
+        return list(self._adjacency_mapper.crossbar_ids)
 
     # ------------------------------------------------------------------ #
     # Evaluation

@@ -241,6 +241,22 @@ class TestWorkAvoidance:
         for fmap in fmaps:
             engine.block_crossbar_cost(block, fmap)
         assert len(engine) <= 4
+        # Every entry beyond the capacity was dropped — and counted, so cache
+        # sizing is observable from the stats instead of silent.
+        assert engine.stats.cache_evictions == engine.stats.cache_misses - len(engine)
+        assert engine.stats.cache_evictions > 0
+
+    def test_cache_evictions_surface_through_strategy_stats(self):
+        from repro.core.strategies import FaReStrategy
+
+        rng = np.random.default_rng(15)
+        strategy = FaReStrategy()
+        strategy.mapper.cost_engine.cache_size = 2
+        blocks = random_blocks(rng, 4, 8, 0.3)
+        fmaps = FaultModel(0.2, (1, 1), seed=16).generate(6, 8, 8)
+        strategy.plan_adjacency([blocks], fmaps, list(range(6)), 8)
+        stats = strategy.mapping_engine_stats()
+        assert stats["mapping_cache_evictions"] > 0
 
     def test_clear_cache(self):
         rng = np.random.default_rng(13)
@@ -313,6 +329,15 @@ class TestStats:
     def test_batched_solver_pairs_exported(self):
         stats = CostEngineStats(batched_solver_pairs=5)
         assert stats.as_dict()["mapping_batched_solver_pairs"] == 5.0
+
+    def test_eviction_and_delta_counters_exported(self):
+        stats = CostEngineStats(cache_evictions=2, delta_plans=1, warm_start_hits=3)
+        exported = stats.as_dict()
+        assert exported["mapping_cache_evictions"] == 2.0
+        assert exported["mapping_delta_plans"] == 1.0
+        assert exported["mapping_warm_start_hits"] == 3.0
+        stats.reset()
+        assert stats.cache_evictions == 0 and stats.delta_plans == 0
 
 
 # --------------------------------------------------------------------------- #

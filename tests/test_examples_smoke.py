@@ -57,6 +57,29 @@ def test_quickstart_example_runs_end_to_end():
         )
 
 
+def test_readme_lifetime_quickstart():
+    """The README's device-lifetime commands (tiny checkpoint counts)."""
+    env = _src_env()
+    module = [sys.executable, "-m", "repro.experiments", "lifetime"]
+
+    curve = _run(module + ["--epochs", "1", "--checkpoints", "2"], env)
+    assert curve.returncode == 0, f"lifetime failed:\n{curve.stderr}"
+    assert "Device lifetime" in curve.stdout
+    assert "Writes" in curve.stdout and "Replan ms" in curve.stdout
+    # Two wear-out checkpoints were walked: header + separator + 2 rows.
+    assert len(curve.stdout.strip().splitlines()) >= 4
+
+    grid = _run(
+        module + ["--grid", "--densities", "0.012", "0.014", "--compare-cold"], env
+    )
+    assert grid.returncode == 0, f"lifetime --grid failed:\n{grid.stderr}"
+    assert "Cross-density plan grid" in grid.stdout
+    # --compare-cold fills the final column with measured times, not dashes.
+    assert "Cold ms" in grid.stdout
+    last_row = grid.stdout.strip().splitlines()[-1]
+    assert not last_row.rstrip().endswith("-")
+
+
 def test_readme_serve_a_sweep_quickstart(tmp_path):
     """The README's submit → drain → status sequence, verbatim commands."""
     env = _src_env(REPRO_RUNCACHE_DIR=str(tmp_path / "runcache"))

@@ -1,0 +1,143 @@
+"""Tests for write-endurance modelling and post-deployment fault schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.endurance import (
+    EnduranceModel,
+    PostDeploymentSchedule,
+    WearOutSchedule,
+)
+
+
+class TestEnduranceModel:
+    def test_zero_writes_never_fail(self):
+        model = EnduranceModel()
+        assert model.failure_probability(0.0) == 0.0
+        assert model.failure_probability(-5.0) == 0.0
+
+    def test_mean_endurance_is_the_median(self):
+        model = EnduranceModel(mean_endurance=1e9)
+        assert model.failure_probability(1e9) == pytest.approx(0.5)
+
+    def test_writes_far_beyond_endurance_saturate(self):
+        model = EnduranceModel(mean_endurance=1e6, sigma_log10=0.5)
+        assert model.failure_probability(1e20) == pytest.approx(1.0)
+
+    def test_monotone_in_writes(self):
+        model = EnduranceModel()
+        probs = [model.failure_probability(w) for w in np.logspace(3, 12, 40)]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+
+    def test_expected_new_faults_scales_with_cells(self):
+        model = EnduranceModel(mean_endurance=1e6)
+        assert model.expected_new_faults(1e6, 1000) == pytest.approx(500.0)
+
+    def test_expected_new_faults_empty_crossbar_rejected(self):
+        model = EnduranceModel()
+        with pytest.raises(ValueError):
+            model.expected_new_faults(1e6, 0)
+        with pytest.raises(ValueError):
+            model.expected_new_faults(1e6, -4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(mean_endurance=0.0)
+        with pytest.raises(ValueError):
+            EnduranceModel(sigma_log10=-1.0)
+
+    def test_writes_for_probability_bounds_rejected(self):
+        model = EnduranceModel()
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                model.writes_for_probability(bad)
+
+    @given(st.floats(1e-6, 1.0 - 1e-6), st.floats(1e5, 1e11), st.floats(0.1, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_writes_for_probability_round_trips(self, p, mean, sigma):
+        model = EnduranceModel(mean_endurance=mean, sigma_log10=sigma)
+        writes = model.writes_for_probability(p)
+        assert model.failure_probability(writes) == pytest.approx(p, abs=1e-9)
+
+
+class TestWearOutSchedule:
+    def test_requires_checkpoints(self):
+        with pytest.raises(ValueError):
+            WearOutSchedule(model=EnduranceModel(), write_checkpoints=())
+
+    def test_requires_strictly_increasing_positive_checkpoints(self):
+        model = EnduranceModel()
+        with pytest.raises(ValueError):
+            WearOutSchedule(model=model, write_checkpoints=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            WearOutSchedule(model=model, write_checkpoints=(10.0, 10.0))
+        with pytest.raises(ValueError):
+            WearOutSchedule(model=model, write_checkpoints=(20.0, 10.0))
+
+    def test_log_spaced_hits_the_probability_endpoints(self):
+        model = EnduranceModel(mean_endurance=1e8)
+        schedule = WearOutSchedule.log_spaced(
+            model, start_probability=0.01, stop_probability=0.3, num_checkpoints=5
+        )
+        densities = schedule.cumulative_densities()
+        assert densities[0] == pytest.approx(0.01, abs=1e-9)
+        assert densities[-1] == pytest.approx(0.3, abs=1e-9)
+
+    def test_log_spaced_validates_probability_order(self):
+        model = EnduranceModel()
+        with pytest.raises(ValueError):
+            WearOutSchedule.log_spaced(model, 0.3, 0.1)
+        with pytest.raises(ValueError):
+            WearOutSchedule.log_spaced(model, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            WearOutSchedule.log_spaced(model, num_checkpoints=0)
+
+    @given(st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_increments_sum_to_cumulative(self, num_checkpoints, seed):
+        rng = np.random.default_rng(seed)
+        model = EnduranceModel(
+            mean_endurance=float(rng.uniform(1e5, 1e10)),
+            sigma_log10=float(rng.uniform(0.2, 1.0)),
+        )
+        schedule = WearOutSchedule.log_spaced(
+            model,
+            start_probability=0.005,
+            stop_probability=0.25,
+            num_checkpoints=num_checkpoints,
+        )
+        cumulative = schedule.cumulative_densities()
+        increments = schedule.density_increments()
+        assert len(increments) == num_checkpoints
+        assert all(i >= 0.0 for i in increments)
+        # Densities are monotone because the checkpoints are increasing.
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+        np.testing.assert_allclose(np.cumsum(increments), cumulative)
+
+
+class TestPostDeploymentSchedule:
+    def test_densities_sum_to_total(self):
+        schedule = PostDeploymentSchedule(total_extra_density=0.01, num_epochs=10)
+        assert len(schedule.densities()) == 10
+        assert sum(schedule.densities()) == pytest.approx(0.01)
+
+    def test_per_epoch_constant(self):
+        schedule = PostDeploymentSchedule(total_extra_density=0.02, num_epochs=4)
+        assert schedule.densities() == [pytest.approx(0.005)] * 4
+
+    def test_cumulative_monotone_and_ends_at_total(self):
+        schedule = PostDeploymentSchedule(total_extra_density=0.01, num_epochs=7)
+        cumulative = schedule.cumulative()
+        assert len(cumulative) == 7
+        assert all(a < b for a, b in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == pytest.approx(0.01)
+        # Each cumulative point is the prefix sum of the per-epoch densities.
+        np.testing.assert_allclose(cumulative, np.cumsum(schedule.densities()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PostDeploymentSchedule(total_extra_density=1.5)
+        with pytest.raises(ValueError):
+            PostDeploymentSchedule(num_epochs=0)

@@ -152,6 +152,75 @@ class TestFaultModel:
         assert "FaultModel" in repr(FaultModel(0.01))
 
 
+class TestFaultMapDeltaAlgebra:
+    """Property tests for the delta algebra used by incremental re-planning.
+
+    Delta planning diffs fault maps by content fingerprint and splices
+    unchanged columns from retained copies, so ``merge`` precedence,
+    ``permuted_rows`` round-trips, and fingerprint stability/uniqueness under
+    in-place mutation are load-bearing invariants, fuzzed here.
+    """
+
+    @staticmethod
+    def _random_map(rng, rows=16, cols=16, density=0.15):
+        model = FaultModel(density, (1.0, 1.0), seed=int(rng.integers(1 << 31)))
+        return model.generate(1, rows, cols)[0]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_sa1_wins_everywhere(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = self._random_map(rng), self._random_map(rng)
+        merged = a.merge(b)
+        # SA1 survives from either side; SA0 holds only where no SA1 claims
+        # the cell — the physical model (stuck-at-1 dominates) and the rule
+        # inject_additional relies on.
+        np.testing.assert_array_equal(merged.sa1, a.sa1 | b.sa1)
+        np.testing.assert_array_equal(merged.sa0, (a.sa0 | b.sa0) & ~merged.sa1)
+        assert not np.any(merged.sa0 & merged.sa1)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_permuted_rows_round_trips(self, seed):
+        rng = np.random.default_rng(seed)
+        fmap = self._random_map(rng)
+        perm = rng.permutation(16)
+        inverse = np.argsort(perm)
+        restored = fmap.permuted_rows(perm).permuted_rows(inverse)
+        np.testing.assert_array_equal(restored.sa0, fmap.sa0)
+        np.testing.assert_array_equal(restored.sa1, fmap.sa1)
+        assert restored.fingerprint == fmap.fingerprint
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_fingerprint_stable_across_copies_unique_across_mutations(self, seed):
+        rng = np.random.default_rng(seed)
+        fmap = self._random_map(rng)
+        original = fmap.fingerprint
+        assert fmap.copy().fingerprint == original  # stability
+        r, c = int(rng.integers(16)), int(rng.integers(16))
+        plane = fmap.sa1 if rng.integers(2) else fmap.sa0
+        other = fmap.sa0 if plane is fmap.sa1 else fmap.sa1
+        before = bool(plane[r, c])
+        other[r, c] = False  # keep the no-conflict invariant
+        plane[r, c] = not before
+        assert fmap.fingerprint != original  # uniqueness under mutation
+        mutated = fmap.fingerprint
+        assert fmap.fingerprint == mutated  # deterministic re-read
+
+    def test_inject_additional_is_merge_with_fresh_faults(self):
+        # The injection delta source is pure algebra: new = old.merge(fresh),
+        # with existing faults taking precedence over fresh SA0.
+        model = FaultModel(0.1, (9.0, 1.0), seed=42)
+        maps = model.generate(4, 16, 16)
+        updated = model.inject_additional(maps, 0.05)
+        for old, new in zip(maps, updated):
+            assert np.all(new.sa1[old.sa1])  # SA1 never downgraded
+            assert np.all((new.sa0 | new.sa1)[old.sa0 | old.sa1])  # monotone
+            assert not np.any(new.sa0 & new.sa1)
+            assert new.fingerprint != old.fingerprint or old.num_faults == new.num_faults
+
+
 class TestFaultProperties:
     @given(
         st.floats(0.0, 0.2),

@@ -130,6 +130,61 @@ class TestPostDeployment:
         trainer.train()
         assert hardware.bist.scan_count == 1
 
+    def test_engine_counters_surface_in_training_result(
+        self, tiny_graph, tiny_config, trainer_config
+    ):
+        hardware = make_hardware(tiny_config)
+        strategy = build_strategy("fare")
+        # Shrink the result cache so evictions actually happen during the run
+        # and the counter is proven live end-to-end, not just key-present.
+        strategy.mapper.cost_engine.cache_size = 1
+        trainer = FaultyTrainer(
+            tiny_graph, "gcn", strategy, trainer_config, hardware=hardware
+        )
+        result = trainer.train()
+        assert result.counters["mapping_cache_evictions"] > 0
+        assert "mapping_delta_plans" in result.counters
+
+    def test_replan_on_rescan_matches_pi_refresh_free_accuracy(
+        self, tiny_graph, tiny_config, trainer_config
+    ):
+        """Trainer-level delta equivalence: a warm re-plan after each BIST
+        re-scan must produce exactly the plans a cold-planning strategy
+        computes on the same fault maps (same RNG stream on both paths)."""
+
+        def run(use_delta, replan):
+            hardware = make_hardware(tiny_config, density=0.02, seed=5)
+            schedule = PostDeploymentSchedule(
+                total_extra_density=0.05, num_epochs=trainer_config.epochs
+            )
+            trainer = FaultyTrainer(
+                tiny_graph,
+                "gcn",
+                build_strategy("fare", use_delta_planning=use_delta),
+                trainer_config,
+                hardware=hardware,
+                post_deployment=schedule,
+                replan_on_rescan=replan,
+            )
+            result = trainer.train()
+            return trainer, result
+
+        delta_trainer, delta_result = run(use_delta=True, replan=True)
+        cold_trainer, cold_result = run(use_delta=False, replan=True)
+        assert delta_result.final_test_accuracy == cold_result.final_test_accuracy
+        np.testing.assert_allclose(delta_result.loss_history, cold_result.loss_history)
+        for ref, got in zip(cold_trainer.plans, delta_trainer.plans):
+            assert ref.pruned_crossbars == got.pruned_crossbars
+            assert ref.relaxed_blocks == got.relaxed_blocks
+            for a, b in zip(ref.blocks, got.blocks):
+                assert a.block_index == b.block_index
+                assert a.crossbar_index == b.crossbar_index
+                assert a.cost == b.cost
+                np.testing.assert_array_equal(a.row_permutation, b.row_permutation)
+        assert (
+            delta_trainer.strategy.mapping_engine_stats()["mapping_delta_plans"] > 0
+        )
+
 
 class TestEvaluation:
     def test_evaluate_splits(self, tiny_graph, tiny_config, trainer_config):
