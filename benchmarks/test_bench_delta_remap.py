@@ -116,7 +116,9 @@ def test_bench_delta_remap(run_once):
     scale = bench_scale()
     seed = bench_seed()
     sweep = SWEEP_CI if scale == "ci" else SWEEP_PAPER
-    repetitions = 2 if scale == "ci" else 3
+    # Best-of-3 even at ci scale: the greedy delta chain is ~20 ms, so a
+    # single noisy repetition can push a real ~7x speedup under the gate.
+    repetitions = 3
 
     def run_sweep():
         results = {}
@@ -153,6 +155,20 @@ def test_bench_delta_remap(run_once):
                 r["warm_hits"],
             ]
         )
+    # Acceptance gate: on the headline scenario every row method must re-plan
+    # at least 5× faster through the delta chain than from scratch.  The gate
+    # runs BEFORE record_result so a failing (e.g. noisy-machine) run can
+    # never emit result artifacts that look canonical.
+    for method in METHODS:
+        headline = results[(*HEADLINE, method)]
+        assert headline["speedup"] >= MIN_DELTA_SPEEDUP, (
+            f"{method}: delta re-plan speedup {headline['speedup']:.1f}x "
+            f"< {MIN_DELTA_SPEEDUP}x"
+        )
+        # Most of the pair grid must splice through untouched — that is the
+        # mechanism the speedup comes from.
+        assert headline["reused_fraction"] > 0.75
+
     record_result(
         "delta_remap",
         format_table(
@@ -185,15 +201,3 @@ def test_bench_delta_remap(run_once):
             for method in METHODS
         },
     )
-
-    # Acceptance gate: on the headline scenario every row method must re-plan
-    # at least 5× faster through the delta chain than from scratch.
-    for method in METHODS:
-        headline = results[(*HEADLINE, method)]
-        assert headline["speedup"] >= MIN_DELTA_SPEEDUP, (
-            f"{method}: delta re-plan speedup {headline['speedup']:.1f}x "
-            f"< {MIN_DELTA_SPEEDUP}x"
-        )
-        # Most of the pair grid must splice through untouched — that is the
-        # mechanism the speedup comes from.
-        assert headline["reused_fraction"] > 0.75
