@@ -71,6 +71,14 @@ def _build_trainer(cached, nodes, epochs, seed):
         training,
         hardware=hardware,
         use_hw_state_cache=cached,
+        # Pin both arms to the per-batch eval path: this gate isolates the
+        # hw-state cache subsystem, and the (default-on) vectorised eval
+        # accelerates the uncached baseline too, compressing the ratio it
+        # measures.  The vectorised paths have their own gate in
+        # test_bench_multigraph_train.py.
+        use_shared_eval=False,
+        use_batched_eval=False,
+        use_agg_precompute=False,
     )
 
 

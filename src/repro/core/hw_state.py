@@ -139,6 +139,17 @@ class HardwareStateCache:
         fault_state = sum(x.fault_epoch for x in self.adjacency_mapper.crossbars)
         return (self._plan_version, fault_state)
 
+    def state_key(self) -> Tuple:
+        """Opaque token identifying the current hardware state.
+
+        Changes whenever a cached read-back could go stale (mapping-plan
+        refresh or fault-map change) and never otherwise, so callers can
+        memoise derived artifacts — e.g. the trainer's fused eval buckets —
+        against it.  Valid even with the cache ``enabled=False`` (the plan
+        version is bumped by the trainer regardless).
+        """
+        return self._adjacency_key()
+
     # ------------------------------------------------------------------ #
     # Adjacency read-back
     # ------------------------------------------------------------------ #

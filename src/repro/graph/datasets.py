@@ -271,6 +271,138 @@ def synthetic_graph(
     return graph
 
 
+def synthetic_graph_streaming(
+    num_nodes: int,
+    num_communities: int,
+    num_features: int,
+    num_classes: int,
+    avg_degree: float = 8.0,
+    intra_ratio: float = 0.9,
+    feature_noise: float = 0.6,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    name: str = "synthetic-streaming",
+    seed: Optional[int] = 0,
+    chunk_nodes: int = 262_144,
+) -> Graph:
+    """Memory-bounded generator for million-node planted-partition graphs.
+
+    Draws the same family of graphs as :func:`synthetic_graph` — community
+    structure, community-correlated features, community-derived labels — but
+    every step is fully vectorised and the features are filled in chunks of
+    ``chunk_nodes`` rows, so peak memory stays at the size of the *outputs*
+    (CSR adjacency, feature matrix, masks) plus one chunk of scratch.  No
+    dense ``N x N`` intermediate ever exists; at ``10^6`` nodes generation is
+    dominated by the ``O(E)`` edge arrays.
+
+    Differences from :func:`synthetic_graph` (deliberate, documented):
+
+    * its own RNG stream — the per-edge Python loop of the small generator
+      is replaced by one vectorised distinct-pair draw, so the two
+      generators produce different (same-distribution) graphs even for the
+      same seed, and the small generator's stream stays untouched;
+    * single-label only (multi-label PPI surrogates are small; the streaming
+      sizes model Reddit/Amazon2M-class graphs, which are single-label).
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    num_communities = check_positive_int(num_communities, "num_communities")
+    num_features = check_positive_int(num_features, "num_features")
+    num_classes = check_positive_int(num_classes, "num_classes")
+    chunk_nodes = check_positive_int(chunk_nodes, "chunk_nodes")
+    check_fraction(train_fraction, "train_fraction")
+    check_fraction(val_fraction, "val_fraction")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train_fraction + val_fraction must be < 1")
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be positive, got {avg_degree}")
+    check_fraction(intra_ratio, "intra_ratio")
+    rng = ensure_rng(seed)
+
+    communities = rng.integers(0, num_communities, size=num_nodes)
+    sizes = np.bincount(communities, minlength=num_communities)
+    # Nodes grouped by community: members[starts[c]:starts[c]+sizes[c]] are
+    # the nodes of community c (stable order = node-id order within c).
+    members = np.argsort(communities, kind="stable")
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    # --- edges (one vectorised draw instead of a per-edge loop) ----------
+    num_edges_target = int(num_nodes * avg_degree / 2)
+    num_intra = int(num_edges_target * intra_ratio)
+    num_inter = num_edges_target - num_intra
+    eligible = sizes >= 2
+    if eligible.any() and num_intra:
+        probs = np.where(eligible, sizes.astype(np.float64), 0.0)
+        probs /= probs.sum()
+        chosen = rng.choice(num_communities, size=num_intra, p=probs)
+        span = sizes[chosen]
+        # Distinct ordered pair inside each chosen community: u uniform in
+        # [0, s), v uniform over the s-1 remaining slots (shift past u).
+        u_local = np.floor(rng.random(num_intra) * span).astype(np.int64)
+        v_local = np.floor(rng.random(num_intra) * (span - 1)).astype(np.int64)
+        v_local += (v_local >= u_local).astype(np.int64)
+        intra_src = members[starts[chosen] + u_local]
+        intra_dst = members[starts[chosen] + v_local]
+    else:
+        intra_src = intra_dst = np.zeros(0, dtype=np.int64)
+    inter_src = rng.integers(0, num_nodes, size=num_inter)
+    inter_dst = rng.integers(0, num_nodes, size=num_inter)
+    edges = np.stack(
+        [
+            np.concatenate([intra_src, inter_src]),
+            np.concatenate([intra_dst, inter_dst]),
+        ],
+        axis=1,
+    )
+
+    # --- features (chunked: scratch is one chunk, not the full matrix) ---
+    latent_dim = min(num_features, max(num_communities, 8))
+    centroids = rng.normal(0.0, 1.0, size=(num_communities, latent_dim))
+    projection = rng.normal(
+        0.0, 1.0 / np.sqrt(latent_dim), size=(latent_dim, num_features)
+    )
+    features = np.empty((num_nodes, num_features), dtype=np.float64)
+    for start in range(0, num_nodes, chunk_nodes):
+        stop = min(start + chunk_nodes, num_nodes)
+        latent = centroids[communities[start:stop]]
+        latent += feature_noise * rng.normal(0.0, 1.0, size=latent.shape)
+        chunk = latent @ projection
+        chunk += 0.05 * rng.normal(0.0, 1.0, size=chunk.shape)
+        features[start:stop] = chunk
+
+    labels = (communities % num_classes).astype(np.int64)
+
+    # --- splits -----------------------------------------------------------
+    order = rng.permutation(num_nodes)
+    n_train = int(train_fraction * num_nodes)
+    n_val = int(val_fraction * num_nodes)
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask = np.zeros(num_nodes, dtype=bool)
+    train_mask[order[:n_train]] = True
+    val_mask[order[n_train : n_train + n_val]] = True
+    test_mask[order[n_train + n_val :]] = True
+
+    graph = graph_from_edges(
+        num_nodes=num_nodes,
+        edges=edges,
+        features=features,
+        labels=labels,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+        name=name,
+    )
+    graph.metadata.update(
+        {
+            "num_communities": float(num_communities),
+            "avg_degree": float(avg_degree),
+            "intra_ratio": float(intra_ratio),
+            "streaming": 1.0,
+        }
+    )
+    return graph
+
+
 def load_dataset(name: str, scale: str = "ci", seed: Optional[int] = 0) -> Graph:
     """Instantiate the synthetic surrogate for a paper dataset.
 

@@ -81,6 +81,66 @@ def _heavy_edge_matching(
     return match, coarse_id
 
 
+def _heavy_edge_matching_streaming(
+    adjacency: CSRMatrix, rng: np.random.Generator, rounds: int = 4
+) -> Tuple[np.ndarray, int]:
+    """Vectorised heavy-edge matching for large graphs (proposer/acceptor).
+
+    Each round splits the unmatched vertices randomly into proposers and
+    acceptors (the Luby-style symmetry break — if *every* vertex nominates
+    its heaviest neighbour, nominations chase the same hubs and almost none
+    are mutual).  Every proposer proposes to its heaviest unmatched
+    acceptor-neighbour; every acceptor takes its heaviest proposal; the
+    agreed pairs are matched.  Four rounds contract a level by ~45 %.
+    Leftovers stay singletons.  Pure ``O(E log E)`` numpy per round — no
+    per-vertex Python loop — so one level over a million-node graph costs a
+    couple of lexsorts, not minutes.
+    """
+    n = adjacency.shape[0]
+    rows, cols, vals = adjacency.coo()
+    keep = rows != cols
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    matched = np.zeros(n, dtype=bool)
+    pair_u: List[np.ndarray] = []
+    pair_v: List[np.ndarray] = []
+    for _ in range(rounds):
+        proposer = rng.random(n) < 0.5
+        live = (
+            ~matched[rows] & ~matched[cols] & proposer[rows] & ~proposer[cols]
+        )
+        r, c, w = rows[live], cols[live], vals[live]
+        if r.size == 0:
+            continue
+        priority = rng.permutation(n)
+        # Per proposer: sort by (row, weight, priority); the last entry per
+        # row is its heaviest live acceptor (random tie-break).
+        order = np.lexsort((priority[c], w, r))
+        r_s, c_s, w_s = r[order], c[order], w[order]
+        last = np.flatnonzero(np.r_[r_s[1:] != r_s[:-1], True])
+        prop_u, prop_v, prop_w = r_s[last], c_s[last], w_s[last]
+        # Per acceptor: keep the heaviest proposal made to it.
+        order = np.lexsort((priority[prop_u], prop_w, prop_v))
+        u_s, v_s = prop_u[order], prop_v[order]
+        last = np.flatnonzero(np.r_[v_s[1:] != v_s[:-1], True])
+        u, v = u_s[last], v_s[last]
+        matched[u] = True
+        matched[v] = True
+        pair_u.append(u)
+        pair_v.append(v)
+    match = -np.ones(n, dtype=np.int64)
+    if pair_u:
+        u = np.concatenate(pair_u)
+        v = np.concatenate(pair_v)
+        match[u] = np.arange(u.size)
+        match[v] = match[u]
+        num_pairs = u.size
+    else:
+        num_pairs = 0
+    singles = np.flatnonzero(match < 0)
+    match[singles] = num_pairs + np.arange(singles.size)
+    return match, num_pairs + singles.size
+
+
 def _contract(adjacency: CSRMatrix, match: np.ndarray, num_coarse: int) -> CSRMatrix:
     """Contract matched vertex pairs into a weighted coarse graph."""
     rows, cols, vals = adjacency.coo()
@@ -173,6 +233,34 @@ def _refine(
     return assignment
 
 
+def _fill_empty_parts(
+    assignment: np.ndarray, node_weights: np.ndarray, num_parts: int
+) -> np.ndarray:
+    """Give every empty part one vertex (lightest of the heaviest part).
+
+    Refinement is gain-driven and may drain a small part completely; an
+    empty part would later surface as a zero-node mini-batch.  Runs on the
+    coarsest graph, so the loop is over at most ``num_parts`` empties.
+    """
+    counts = np.bincount(assignment, minlength=num_parts)
+    empties = np.flatnonzero(counts == 0)
+    if empties.size == 0:
+        return assignment
+    assignment = assignment.copy()
+    part_weight = np.zeros(num_parts)
+    np.add.at(part_weight, assignment, node_weights)
+    for part in empties:
+        donor = int(np.argmax(np.where(counts > 1, part_weight, -np.inf)))
+        members = np.flatnonzero(assignment == donor)
+        vertex = members[np.argmin(node_weights[members])]
+        assignment[vertex] = part
+        counts[donor] -= 1
+        counts[part] += 1
+        part_weight[donor] -= node_weights[vertex]
+        part_weight[part] += node_weights[vertex]
+    return assignment
+
+
 def _edge_cut(adjacency: CSRMatrix, assignment: np.ndarray) -> int:
     rows, cols, _ = adjacency.coo()
     return int(np.count_nonzero(assignment[rows] != assignment[cols]) // 2)
@@ -181,12 +269,18 @@ def _edge_cut(adjacency: CSRMatrix, assignment: np.ndarray) -> int:
 # --------------------------------------------------------------------------- #
 # Public API
 # --------------------------------------------------------------------------- #
+#: ``method="auto"`` switches to the streaming partitioner at this many nodes
+#: (the per-vertex Python loops of the multilevel path stop being practical).
+STREAMING_NODE_THRESHOLD = 50_000
+
+
 def partition_graph(
     adjacency: CSRMatrix,
     num_parts: int,
     seed: Optional[int] = 0,
     coarsen_until: int = 200,
     max_levels: int = 10,
+    method: str = "auto",
 ) -> PartitionResult:
     """Partition ``adjacency`` into ``num_parts`` balanced clusters.
 
@@ -202,7 +296,20 @@ def partition_graph(
         Stop coarsening once the graph has at most ``max(coarsen_until,
         4 * num_parts)`` vertices.
     max_levels:
-        Safety bound on the number of coarsening levels.
+        Safety bound on the number of coarsening levels (the streaming
+        method raises this floor to 16: its mutual matching contracts more
+        slowly per level than sequential matching, and large graphs need the
+        extra levels to reach the stop size).
+    method:
+        ``"multilevel"`` — the original three-phase scheme with per-level
+        KL refinement (per-vertex Python loops; right for the CI-scale
+        graphs).  ``"streaming"`` — fully vectorised coarsening (mutual
+        heavy-edge matching), initial partitioning and refinement **on the
+        coarsest graph only**, and plain projection back (no per-level
+        refinement — the quality trade documented in
+        ``docs/ARCHITECTURE.md``), so million-node graphs partition in
+        ``O(E log E)`` per level with ``O(E)`` peak scratch.  ``"auto"``
+        picks streaming at ``STREAMING_NODE_THRESHOLD`` nodes and above.
     """
     num_parts = check_positive_int(num_parts, "num_parts")
     n = adjacency.shape[0]
@@ -210,22 +317,39 @@ def partition_graph(
         raise ValueError("adjacency must be square")
     if num_parts > n:
         raise ValueError(f"cannot split {n} nodes into {num_parts} parts")
+    if method not in ("auto", "multilevel", "streaming"):
+        raise ValueError(
+            f"method must be 'auto', 'multilevel' or 'streaming', got {method!r}"
+        )
+    if method == "auto":
+        method = "streaming" if n >= STREAMING_NODE_THRESHOLD else "multilevel"
     rng = ensure_rng(seed)
 
     if num_parts == 1:
         assignment = np.zeros(n, dtype=np.int64)
         return PartitionResult(assignment, 1, 0, 1.0)
 
-    # Coarsening phase.
+    streaming = method == "streaming"
+    if streaming:
+        max_levels = max(max_levels, 16)
+
+    # Coarsening phase.  The streaming path stops at a finer coarsest graph
+    # (16 coarse vertices per part instead of 4): it refines only there, so
+    # it needs enough granularity for region growing to balance — at 4 per
+    # part single heavy coarse vertices overshoot the part weight target.
     graphs: List[CSRMatrix] = [adjacency]
     weights: List[np.ndarray] = [np.ones(n)]
     matches: List[np.ndarray] = []
-    stop_size = max(coarsen_until, 4 * num_parts)
+    per_part = 16 if streaming else 4
+    stop_size = max(coarsen_until, per_part * num_parts)
     for _ in range(max_levels):
         current = graphs[-1]
         if current.shape[0] <= stop_size:
             break
-        match, num_coarse = _heavy_edge_matching(current, rng)
+        if streaming:
+            match, num_coarse = _heavy_edge_matching_streaming(current, rng)
+        else:
+            match, num_coarse = _heavy_edge_matching(current, rng)
         if num_coarse >= current.shape[0]:
             break
         coarse_weights = np.zeros(num_coarse)
@@ -237,11 +361,18 @@ def partition_graph(
     # Initial partitioning on the coarsest graph.
     assignment = _region_growing(graphs[-1], weights[-1], num_parts, rng)
     assignment = _refine(graphs[-1], weights[-1], assignment, num_parts)
+    if streaming:
+        # No further refinement happens below: guarantee no empty parts now
+        # (every coarse vertex carries >= 1 node through projection).
+        assignment = _fill_empty_parts(assignment, weights[-1], num_parts)
 
-    # Uncoarsening + refinement.
+    # Uncoarsening (+ per-level refinement on the multilevel path).
     for level in range(len(matches) - 1, -1, -1):
         assignment = assignment[matches[level]]
-        assignment = _refine(graphs[level], weights[level], assignment, num_parts)
+        if not streaming:
+            assignment = _refine(
+                graphs[level], weights[level], assignment, num_parts
+            )
 
     sizes = np.bincount(assignment, minlength=num_parts).astype(np.float64)
     balance = float(sizes.max() / max(sizes.mean(), 1e-12))

@@ -135,6 +135,25 @@ class CSRMatrix:
             shape,
         )
 
+    @classmethod
+    def block_diag(
+        cls, mats: "Iterable[CSRMatrix]"
+    ) -> Tuple["CSRMatrix", np.ndarray]:
+        """Stack matrices into one block-diagonal matrix.
+
+        Returns ``(fused, row_offsets)`` where ``row_offsets[k]`` is the
+        first fused row of member ``k`` (plus a final sentinel), so a fused
+        product ``fused @ X`` splits back into the per-member products via
+        ``result[row_offsets[k]:row_offsets[k + 1]]``.  Per-row kernels over
+        the fused matrix are bit-identical per member to running them
+        separately (rows never mix across blocks — see
+        :func:`repro.tensor.kernels.block_diag_csr`); the fusion exists to
+        run one kernel call per mini-batch *bucket* instead of one per graph.
+        """
+        parts = [(m.indptr, m.indices, m.data, m.shape) for m in mats]
+        indptr, indices, data, shape, row_offsets = kernels.block_diag_csr(parts)
+        return cls(indptr, indices, data, shape), row_offsets
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

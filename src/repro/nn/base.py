@@ -53,6 +53,7 @@ class GNNModel(Module):
     def __init__(self) -> None:
         super().__init__()
         self._weight_transform: Optional[WeightTransform] = None
+        self._agg_precompute = False
 
     # ------------------------------------------------------------------ #
     # Hardware hook
@@ -63,6 +64,22 @@ class GNNModel(Module):
         for child in self._modules.values():
             if isinstance(child, GNNModel):
                 child.set_weight_transform(transform)
+
+    def set_agg_precompute(self, flag: bool) -> None:
+        """Toggle the cached weight-independent first-layer aggregation.
+
+        When enabled, models whose first-layer aggregation does not depend
+        on the weights (GCN, GraphSAGE) read ``A @ X`` from
+        :func:`repro.graph.normalize.aggregate_features_cached` instead of
+        recomputing the spmm every forward pass.  GraphSAGE's cached path is
+        bit-identical; GCN reassociates ``A (X W + 1 bᵀ)`` into
+        ``(A X) W + (A 1) bᵀ`` and is covered by the documented round-off
+        contract.  Models without such a path (GAT) ignore the flag.
+        """
+        self._agg_precompute = bool(flag)
+        for child in self._modules.values():
+            if isinstance(child, GNNModel):
+                child.set_agg_precompute(flag)
 
     @property
     def weight_transform(self) -> Optional[WeightTransform]:

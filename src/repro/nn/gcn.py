@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.graph.normalize import normalize_adjacency_cached
+from repro.graph.normalize import aggregate_features_cached, normalize_adjacency_cached
 from repro.nn.base import BatchInputs, GNNModel
 from repro.nn.layers import Linear
 from repro.tensor import ops
@@ -35,6 +35,22 @@ class GCNLayer(GNNModel):
     def forward(self, x: Tensor, adjacency_norm) -> Tensor:
         combined = self.linear(x)
         return ops.spmm(adjacency_norm, combined)
+
+    def forward_preaggregated(self, aggregated, row_sums) -> Tensor:
+        """Reassociated first-layer forward on a cached aggregation.
+
+        ``A (X W + 1 bᵀ) = (A X) W + (A 1) bᵀ`` — ``aggregated`` is the
+        cached ``A X`` and ``row_sums`` the cached ``A 1``, so the per-step
+        spmm (and its backward transpose spmm) collapses into a dense GEMM.
+        Covered by the round-off contract: the reassociation changes the
+        floating-point summation order, not the operator.
+        """
+        linear = self.linear
+        weight = linear.effective_weight(f"{linear.layer_name}.weight", linear.weight)
+        out = Tensor(aggregated) @ weight
+        if linear.bias is not None:
+            out = out + ops.outer_constant(row_sums, linear.bias)
+        return out
 
 
 class GCN(GNNModel):
@@ -91,7 +107,13 @@ class GCN(GNNModel):
         x = Tensor(batch.features)
         for index in range(self.num_layers):
             layer: GCNLayer = getattr(self, f"layer{index}")
-            x = layer(x, adjacency_norm)
+            if index == 0 and self._agg_precompute:
+                aggregated, row_sums = aggregate_features_cached(
+                    adjacency_norm, batch.features
+                )
+                x = layer.forward_preaggregated(aggregated, row_sums)
+            else:
+                x = layer(x, adjacency_norm)
             if index < self.num_layers - 1:
                 x = ops.relu(x)
                 x = ops.dropout(x, self.dropout, training=self.training, rng=rng)

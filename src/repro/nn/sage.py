@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.graph.normalize import normalize_adjacency_cached
+from repro.graph.normalize import aggregate_features_cached, normalize_adjacency_cached
 from repro.nn.base import BatchInputs, GNNModel
 from repro.nn.layers import Linear
 from repro.tensor import ops
@@ -34,6 +34,15 @@ class SAGELayer(GNNModel):
     def forward(self, x: Tensor, adjacency_rw) -> Tensor:
         neighbour_mean = ops.spmm(adjacency_rw, x)
         return self.self_linear(x) + self.neigh_linear(neighbour_mean)
+
+    def forward_preaggregated(self, x: Tensor, aggregated) -> Tensor:
+        """First-layer forward on the cached neighbour mean ``D^{-1} A X``.
+
+        Bit-identical to :meth:`forward` on the raw features: the cache holds
+        the result of the very same ``csr_matmat`` call, and the features
+        carry no gradient, so skipping the spmm changes nothing downstream.
+        """
+        return self.self_linear(x) + self.neigh_linear(Tensor(aggregated))
 
 
 class GraphSAGE(GNNModel):
@@ -73,7 +82,13 @@ class GraphSAGE(GNNModel):
         x = Tensor(batch.features)
         for index in range(self.num_layers):
             layer: SAGELayer = getattr(self, f"layer{index}")
-            x = layer(x, adjacency_rw)
+            if index == 0 and self._agg_precompute:
+                aggregated, _ = aggregate_features_cached(
+                    adjacency_rw, batch.features
+                )
+                x = layer.forward_preaggregated(x, aggregated)
+            else:
+                x = layer(x, adjacency_rw)
             if index < self.num_layers - 1:
                 x = ops.relu(x)
                 x = ops.dropout(x, self.dropout, training=self.training, rng=rng)

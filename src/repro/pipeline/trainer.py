@@ -31,7 +31,7 @@ throughput tracked by ``benchmarks/test_bench_train_epoch.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,8 +39,9 @@ from repro.core.hw_state import HardwareStateCache
 from repro.core.mapping import BatchMapping
 from repro.core.strategies import Strategy
 from repro.graph.graph import Graph
-from repro.graph.partition import PartitionResult
+from repro.graph.partition import STREAMING_NODE_THRESHOLD, PartitionResult
 from repro.graph.sampling import ClusterBatch, ClusterBatchSampler
+from repro.graph.sparse import CSRMatrix
 from repro.hardware.bist import BISTReport
 from repro.hardware.endurance import PostDeploymentSchedule
 from repro.nn.base import BatchInputs, GNNModel
@@ -74,10 +75,16 @@ class TrainingConfig:
     batch_clusters: int = 4
     eval_every: int = 1
     seed: int = 0
+    #: Node budget of one batched-eval bucket: consecutive mini-batches are
+    #: fused into one block-diagonal forward until adding the next batch
+    #: would exceed this many nodes (a bucket always holds ≥ 1 batch).
+    eval_bucket_nodes: int = 4096
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
+        if self.eval_bucket_nodes <= 0:
+            raise ValueError("eval_bucket_nodes must be positive")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if self.batch_clusters > self.num_parts:
@@ -154,6 +161,10 @@ class FaultyTrainer:
         use_hw_state_cache: bool = True,
         artifacts: Optional[TrainerArtifacts] = None,
         replan_on_rescan: bool = False,
+        use_shared_eval: bool = True,
+        use_batched_eval: bool = True,
+        use_agg_precompute: bool = True,
+        streaming_blocks: Optional[bool] = None,
     ) -> None:
         self.graph = graph
         self.model_name = model_name.lower()
@@ -174,6 +185,30 @@ class FaultyTrainer:
         #: per-block program/read loops and the unfused weight pipeline — for
         #: the equivalence tests and the epoch-throughput benchmark baseline.
         self.use_hw_state_cache = bool(use_hw_state_cache)
+        #: Multi-graph vectorised evaluation (see ``docs/ARCHITECTURE.md``,
+        #: "Batched multi-graph training").  ``use_shared_eval`` computes the
+        #: per-epoch train and test accuracy from one forward per batch (the
+        #: logits do not depend on the split mask); ``use_batched_eval``
+        #: additionally fuses consecutive batches into one block-diagonal
+        #: forward per bucket; ``use_agg_precompute`` caches the
+        #: weight-independent first-layer aggregation across steps.  All
+        #: three ``False`` restores the seed per-split / per-batch loop
+        #: bit-for-bit (the multigraph benchmark's baseline).
+        self.use_shared_eval = bool(use_shared_eval)
+        self.use_batched_eval = bool(use_batched_eval)
+        self.use_agg_precompute = bool(use_agg_precompute)
+        #: Memory-bounded block handling for huge graphs: when on, the dense
+        #: per-batch adjacency blocks are decomposed *transiently* — once per
+        #: batch during planning, then again inside ``apply_mapping`` on each
+        #: hardware-state change — instead of being retained for the whole
+        #: run (retention costs ``O(sum of padded batch-matrix bytes)``,
+        #: ~12 GB at 10^6 nodes).  Plans are bit-identical to the retained
+        #: path (every strategy plans per batch independently).  ``None``
+        #: (auto) enables it at ``STREAMING_NODE_THRESHOLD`` nodes unless
+        #: block artifacts are supplied; post-deployment fault reaction
+        #: (:meth:`apply_fault_delta`) needs the retained blocks and raises
+        #: in this mode.
+        self.streaming_blocks = streaming_blocks
         if strategy.requires_hardware and hardware is None:
             raise ValueError(
                 f"strategy {strategy.name!r} requires a HardwareEnvironment"
@@ -218,6 +253,15 @@ class FaultyTrainer:
         self._plans = None
         self._blocks_per_batch = None
         self._grids = None
+        # Batched-eval state: the bucket layout is fixed (batch composition
+        # never changes), the fused block-diagonal inputs are memoised per
+        # bucket on the identity of the member adjacencies (stable while the
+        # hardware state is stable, invalidated the moment a read-back
+        # changes — same identity-keying as normalize_adjacency_cached).
+        self._eval_buckets: Optional[List[List[int]]] = None
+        self._fused_eval_cache: Dict[int, tuple] = {}
+        self._batched_eval_forwards = 0
+        self.model.set_agg_precompute(self.use_agg_precompute)
         # Delta view of the process-wide segment-reduce kernel counters;
         # surfaces through Strategy.mapping_engine_stats() -> trainer
         # counters -> timing components, like the cost-engine and hw-state
@@ -250,6 +294,19 @@ class FaultyTrainer:
             enabled=self.use_hw_state_cache,
         )
         self.strategy.attach_hw_state_cache(self._hw_cache)
+        streaming = self.streaming_blocks
+        if streaming is None:
+            streaming = (
+                self.graph.num_nodes >= STREAMING_NODE_THRESHOLD
+                and self.artifacts.blocks_per_batch is None
+            )
+        elif streaming and self.artifacts.blocks_per_batch is not None:
+            raise ValueError(
+                "streaming_blocks=True conflicts with supplied block artifacts"
+            )
+        if streaming:
+            self._preprocess_streaming(hw)
+            return
         if (
             self.artifacts.blocks_per_batch is not None
             and self.artifacts.grids is not None
@@ -289,6 +346,47 @@ class FaultyTrainer:
             hw.config.crossbar_rows,
         )
 
+    def _preprocess_streaming(self, hw: HardwareEnvironment) -> None:
+        """Plan without retaining blocks: decompose each batch transiently.
+
+        Every strategy plans its batches independently (one
+        ``BatchMapping`` per batch from that batch's blocks alone), so
+        planning batch-by-batch over a transient decomposition yields plans
+        bit-identical to the retained path while peak memory holds one
+        batch's blocks instead of all of them.  ``self._blocks_per_batch``
+        stays ``None`` — the marker :meth:`_batch_inputs` uses to let
+        ``apply_mapping`` re-decompose on hardware-state changes (served
+        from the epoch cache in between).
+        """
+        self._blocks_per_batch = None
+        rows = hw.config.crossbar_rows
+        cols = hw.config.crossbar_cols
+        self._grids = [
+            (-(-batch.num_nodes // rows), -(-batch.num_nodes // cols))
+            for batch in self.batches
+        ]
+        if self.artifacts.plans is not None:
+            if len(self.artifacts.plans) != len(self.batches):
+                raise ValueError(
+                    f"artifacts supply {len(self.artifacts.plans)} mapping "
+                    f"plans but the sampler produced {len(self.batches)} batches"
+                )
+            self._plans = list(self.artifacts.plans)
+            return
+        report = self.artifacts.bist_report
+        if report is None:
+            report = hw.bist.scan(self._adjacency_mapper.crossbars)
+        crossbar_ids = self._adjacency_mapper.crossbar_ids
+        plans: List[BatchMapping] = []
+        for batch in self.batches:
+            blocks, _ = self._adjacency_mapper.decompose(batch.subgraph.adjacency)
+            plans.extend(
+                self.strategy.plan_adjacency(
+                    [blocks], report.fault_maps, crossbar_ids, rows
+                )
+            )
+        self._plans = plans
+
     # ------------------------------------------------------------------ #
     # Hardware views
     # ------------------------------------------------------------------ #
@@ -321,12 +419,15 @@ class FaultyTrainer:
         batch = self.batches[batch_index]
         adjacency = batch.subgraph.adjacency
         if self.strategy.requires_hardware:
+            # Streaming mode retains no blocks: apply_mapping re-decomposes
+            # transiently on each state change (cache hits skip it entirely).
+            retained = self._blocks_per_batch is not None
             adjacency = self._hw_cache.batch_adjacency(
                 batch_index,
                 adjacency,
                 self._plans[batch_index],
-                blocks=self._blocks_per_batch[batch_index],
-                grid=self._grids[batch_index],
+                blocks=self._blocks_per_batch[batch_index] if retained else None,
+                grid=self._grids[batch_index] if retained else None,
             )
         return BatchInputs(features=batch.subgraph.features, adjacency=adjacency)
 
@@ -379,8 +480,7 @@ class FaultyTrainer:
             self._end_of_epoch(epoch)
             result.loss_history.append(float(np.mean(epoch_losses)))
             if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
-                train_acc = self.evaluate(split="train")
-                test_acc = self.evaluate(split="test")
+                train_acc, test_acc = self._evaluate_epoch()
             elif result.train_accuracy_history:
                 train_acc = result.train_accuracy_history[-1]
                 test_acc = result.test_accuracy_history[-1]
@@ -390,8 +490,7 @@ class FaultyTrainer:
                 # instead of padding with 0.0, which would poison mean±std
                 # aggregation across seeds.  Histories at and after the first
                 # boundary are unchanged.
-                train_acc = self.evaluate(split="train")
-                test_acc = self.evaluate(split="test")
+                train_acc, test_acc = self._evaluate_epoch()
             result.train_accuracy_history.append(train_acc)
             result.test_accuracy_history.append(test_acc)
             result.epochs_run = epoch + 1
@@ -426,6 +525,11 @@ class FaultyTrainer:
         plan (delta-warm-started when supported) instead of the Π-preserving
         row-permutation refresh.  Returns the fresh BIST report.
         """
+        if self._blocks_per_batch is None:
+            raise RuntimeError(
+                "post-deployment fault reaction needs the retained per-batch "
+                "blocks; construct the trainer with streaming_blocks=False"
+            )
         self.hardware.inject_post_deployment(extra_density)
         report = self.hardware.bist.scan(self._adjacency_mapper.crossbars)
         self._weight_mapper.refresh_fault_masks()
@@ -458,6 +562,17 @@ class FaultyTrainer:
     def blocks_per_batch(self) -> Optional[List[List[np.ndarray]]]:
         """Per-batch adjacency blocks (read-only view, set by preprocessing)."""
         return self._blocks_per_batch
+
+    @property
+    def streaming_blocks_active(self) -> bool:
+        """Whether this trainer runs in memory-bounded streaming mode.
+
+        True when preprocessing retained no per-batch block lists — each
+        state change re-decomposes batch adjacencies transiently instead
+        (requested via ``streaming_blocks=True`` or auto-enabled above
+        :data:`repro.graph.partition.STREAMING_NODE_THRESHOLD` nodes).
+        """
+        return self.strategy.requires_hardware and self._blocks_per_batch is None
 
     @property
     def adjacency_crossbar_ids(self) -> Optional[List[int]]:
@@ -498,6 +613,146 @@ class FaultyTrainer:
         return evaluate_predictions(logits_all, labels_all)
 
     # ------------------------------------------------------------------ #
+    # Shared / batched epoch evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_epoch(self) -> Tuple[float, float]:
+        """Per-epoch ``(train accuracy, test accuracy)``.
+
+        The logits of an eval forward do not depend on the split mask, so
+        both accuracies come from **one** forward per batch
+        (``use_shared_eval``) — per split, the gathered logits are the exact
+        arrays the per-split :meth:`evaluate` loop would produce, in the
+        same batch order.  ``use_batched_eval`` additionally fuses
+        consecutive batches into one block-diagonal forward per bucket (see
+        :meth:`_eval_bucket_layout`).  Both flags off delegates to the seed
+        per-split loop unchanged.
+
+        Accounting note: the shared forward programs each batch's adjacency
+        once per eval epoch instead of once per split, so eval-time
+        ``block_write_events`` halve relative to the seed loop; the batched
+        path goes further and re-fetches bucket inputs only when the hardware
+        state actually changed, dropping eval-time write accounting to one
+        pass per state version.  The training write stream is untouched in
+        both cases; documented in ``docs/ARCHITECTURE.md``.
+        """
+        if not (self.use_shared_eval or self.use_batched_eval):
+            return self.evaluate(split="train"), self.evaluate(split="test")
+        self.model.eval()
+        chunks: Dict[str, Tuple[List[np.ndarray], List[np.ndarray]]] = {
+            "train": ([], []),
+            "test": ([], []),
+        }
+        with no_grad():
+            if self.use_batched_eval:
+                for bucket in self._eval_bucket_layout():
+                    for index, rows in zip(bucket, self._bucket_forward(bucket)):
+                        self._gather_split_chunks(index, rows, chunks)
+            else:
+                for index, batch in enumerate(self.batches):
+                    sub = batch.subgraph
+                    if not (sub.train_mask.any() or sub.test_mask.any()):
+                        continue
+                    logits = self.model(self._batch_inputs(index))
+                    self._gather_split_chunks(index, logits.data, chunks)
+        self.model.train()
+        accuracies = []
+        for split in ("train", "test"):
+            logits_chunks, labels_chunks = chunks[split]
+            if not logits_chunks:
+                accuracies.append(0.0)
+                continue
+            accuracies.append(
+                evaluate_predictions(
+                    np.concatenate(logits_chunks, axis=0),
+                    np.concatenate(labels_chunks, axis=0),
+                )
+            )
+        return accuracies[0], accuracies[1]
+
+    def _gather_split_chunks(
+        self,
+        batch_index: int,
+        logits_rows: np.ndarray,
+        chunks: Dict[str, Tuple[List[np.ndarray], List[np.ndarray]]],
+    ) -> None:
+        sub = self.batches[batch_index].subgraph
+        for split, (logits_chunks, labels_chunks) in chunks.items():
+            mask = getattr(sub, f"{split}_mask")
+            if not mask.any():
+                continue
+            logits_chunks.append(logits_rows[mask])
+            labels_chunks.append(sub.labels[mask])
+
+    def _eval_bucket_layout(self) -> List[List[int]]:
+        """Consecutive-batch buckets capped at ``config.eval_bucket_nodes``.
+
+        Fixed for the trainer's lifetime (batch composition never changes);
+        a bucket always holds at least one batch, so an oversized batch forms
+        its own (B=1, unfused) bucket.
+        """
+        if self._eval_buckets is None:
+            cap = int(self.config.eval_bucket_nodes)
+            buckets: List[List[int]] = []
+            current: List[int] = []
+            nodes = 0
+            for index, batch in enumerate(self.batches):
+                if current and nodes + batch.num_nodes > cap:
+                    buckets.append(current)
+                    current, nodes = [], 0
+                current.append(index)
+                nodes += batch.num_nodes
+            if current:
+                buckets.append(current)
+            self._eval_buckets = buckets
+        return self._eval_buckets
+
+    def _bucket_forward(self, bucket: List[int]) -> List[np.ndarray]:
+        """One eval forward over a bucket; returns per-batch logits rows.
+
+        Multi-batch buckets run the model once on the block-diagonal fusion
+        of the member adjacencies (features concatenated row-wise) and split
+        the logits back at the member row offsets.  Per-row kernels over a
+        block-diagonal CSR never mix rows across members, so per-member
+        results match the unfused forwards (bit-identical through the sparse
+        kernels; dense GEMMs are subject to the round-off contract).
+
+        The bucket inputs are memoised against the hardware-state version
+        (mapping-plan version + crossbar fault epochs): between state changes
+        the crossbars hold the same bits and evaluation is a pure re-read, so
+        the per-batch adjacency fetches — and the simulated re-programming
+        they account for — happen only when the state actually changed (see
+        the accounting note on :meth:`_evaluate_epoch`).
+        """
+        self._batched_eval_forwards += 1
+        key = (
+            self._hw_cache.state_key()
+            if self.strategy.requires_hardware
+            else ("static",)
+        )
+        entry = self._fused_eval_cache.get(bucket[0])
+        if entry is None or entry[0] != key:
+            inputs = [self._batch_inputs(index) for index in bucket]
+            if len(inputs) == 1:
+                fused = inputs[0].adjacency
+                features = inputs[0].features
+                offsets = np.array([0, int(fused.shape[0])], dtype=np.int64)
+            else:
+                fused, offsets = CSRMatrix.block_diag(
+                    [item.adjacency for item in inputs]
+                )
+                features = np.concatenate(
+                    [item.features for item in inputs], axis=0
+                )
+            entry = (key, fused, features, offsets)
+            self._fused_eval_cache[bucket[0]] = entry
+        _, fused, features, offsets = entry
+        logits = self.model(BatchInputs(features=features, adjacency=fused))
+        return [
+            logits.data[offsets[k] : offsets[k + 1]]
+            for k in range(len(offsets) - 1)
+        ]
+
+    # ------------------------------------------------------------------ #
     # Counters for the timing model
     # ------------------------------------------------------------------ #
     def _counters(self) -> Dict[str, float]:
@@ -507,10 +762,10 @@ class FaultyTrainer:
             "avg_batch_nodes": float(
                 np.mean([b.num_nodes for b in self.batches]) if self.batches else 0.0
             ),
+            # Grid shapes exist in both block modes (decompose emits one
+            # block per grid cell, so this equals the retained block count).
             "total_blocks": float(
-                sum(len(blocks) for blocks in self._blocks_per_batch)
-                if self._blocks_per_batch
-                else 0.0
+                sum(rb * cb for rb, cb in self._grids) if self._grids else 0.0
             ),
         }
         if self._weight_mapper is not None:
@@ -527,6 +782,10 @@ class FaultyTrainer:
             counters["block_write_events"] = float(
                 self._adjacency_mapper.block_write_events
             )
+        counters["batched_eval_forwards"] = float(self._batched_eval_forwards)
+        counters["batched_eval_buckets"] = float(
+            len(self._eval_bucket_layout()) if self.use_batched_eval else 0
+        )
         engine_stats = self.strategy.mapping_engine_stats()
         if engine_stats:
             counters.update(engine_stats)

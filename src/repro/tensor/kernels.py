@@ -57,6 +57,14 @@ class KernelCounters:
     edge_softmax_calls: int = 0
     transpose_cache_hits: int = 0
     transpose_cache_misses: int = 0
+    #: Batched multi-graph kernels (block-diagonal CSR fusion): how many
+    #: fused matrices were built, how many member graphs they absorbed, and
+    #: the hit/miss split of the trainer-level aggregation precompute cache
+    #: (see ``graph.normalize.aggregate_features_cached``).
+    batched_block_diag_calls: int = 0
+    batched_graphs_fused: int = 0
+    batched_agg_cache_hits: int = 0
+    batched_agg_cache_misses: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -298,6 +306,51 @@ def csr_matmat(
         contrib = data[:, None] * dense[indices]
         out[nonempty] = np.add.reduceat(contrib, starts, axis=0)
     return out
+
+
+def block_diag_csr(
+    parts: "list[Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]]",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int], np.ndarray]:
+    """Stack CSR matrices into one block-diagonal CSR.
+
+    ``parts`` is a list of ``(indptr, indices, data, shape)`` tuples; the
+    result is ``(indptr, indices, data, shape, row_offsets)`` where
+    ``row_offsets[k]`` is the first fused row of part ``k`` (with a final
+    sentinel equal to the fused row count), so callers can split per-part
+    row slices back out of a fused product.
+
+    Structure contract: rows within a block keep their entry order and no
+    row ever gains entries from another block, so per-row segment reductions
+    (``csr_matmat``, ``edge_softmax``, row sums) over the fused matrix are
+    **bit-identical** per block to running the per-part kernels — the fusion
+    only amortises the Python/kernel dispatch over the whole bucket.
+    """
+    COUNTERS.batched_block_diag_calls += 1
+    COUNTERS.batched_graphs_fused += len(parts)
+    if not parts:
+        raise ValueError("block_diag_csr needs at least one part")
+    indptrs = []
+    indices_parts = []
+    data_parts = []
+    row_offsets = np.zeros(len(parts) + 1, dtype=np.int64)
+    col_offset = 0
+    nnz_offset = 0
+    total_cols = 0
+    for k, (indptr, indices, data, shape) in enumerate(parts):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        start = indptr if k == 0 else indptr[1:]
+        indptrs.append(start + nnz_offset)
+        indices_parts.append(np.asarray(indices, dtype=np.int64) + col_offset)
+        data_parts.append(np.asarray(data, dtype=np.float64))
+        row_offsets[k + 1] = row_offsets[k] + int(shape[0])
+        col_offset += int(shape[1])
+        total_cols += int(shape[1])
+        nnz_offset += int(indptr[-1])
+    fused_indptr = np.concatenate(indptrs)
+    fused_indices = np.concatenate(indices_parts)
+    fused_data = np.concatenate(data_parts)
+    shape = (int(row_offsets[-1]), total_cols)
+    return fused_indptr, fused_indices, fused_data, shape, row_offsets
 
 
 def csr_row_sums(indptr: np.ndarray, data: np.ndarray) -> np.ndarray:

@@ -233,6 +233,32 @@ def spmm(adjacency, x: Tensor) -> Tensor:
     return out
 
 
+def outer_constant(scale: np.ndarray, vec: Tensor) -> Tensor:
+    """Outer product of a constant column with a tensor row: ``out[i, j] =
+    scale[i] * vec[j]``.
+
+    ``scale`` is a constant 1-D array (no gradient); ``vec`` is a 1-D tensor
+    (e.g. a bias).  This is the term that lets the batched GCN layer
+    reassociate ``A @ (X W + 1 bᵀ)`` into ``(A X) W + (A 1) bᵀ`` so the
+    weight-independent aggregation ``A X`` can be precomputed once per
+    (adjacency, features) pair — see
+    :func:`repro.graph.normalize.aggregate_features_cached`.
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    if scale.ndim != 1 or vec.data.ndim != 1:
+        raise ValueError(
+            f"outer_constant expects 1-D inputs, got {scale.shape} and {vec.shape}"
+        )
+    out_data = scale[:, None] * vec.data[None, :]
+
+    def _backward() -> None:
+        if vec.requires_grad:
+            vec._accumulate(scale @ out.grad)
+
+    out = _wrap(out_data, (vec,), _backward, vec.requires_grad)
+    return out
+
+
 def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
     """Return ``x`` with entries where ``mask`` is True replaced by ``value``.
 

@@ -57,6 +57,33 @@ def test_quickstart_example_runs_end_to_end():
         )
 
 
+def test_readme_large_graph_quickstart():
+    """The README's streaming quickstart at smoke scale.
+
+    60k nodes sits above ``STREAMING_NODE_THRESHOLD`` (50k), so the run
+    exercises the real large-graph machinery — chunked generation,
+    streaming partitioner, auto-enabled streaming-blocks mode — in a few
+    seconds.  The full 10^6-node configuration is gated (with a peak-RSS
+    ceiling) in ``benchmarks/test_bench_multigraph_train.py``.
+    """
+    env = _src_env()
+    proc = _run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "examples" / "large_graph.py"),
+            "--nodes",
+            "60000",
+        ],
+        env,
+    )
+    assert proc.returncode == 0, f"large_graph failed:\n{proc.stderr}"
+    assert "block mode: streaming" in proc.stdout
+    for needle in ("peak RSS", "blocks streamed through", "test accuracy"):
+        assert needle in proc.stdout, (
+            f"expected {needle!r} in large_graph output:\n{proc.stdout}"
+        )
+
+
 def test_readme_lifetime_quickstart():
     """The README's device-lifetime commands (tiny checkpoint counts)."""
     env = _src_env()
