@@ -197,6 +197,33 @@ class HardwareStateCache:
         )
         return result
 
+    def replay_adjacency_writes(self, batch_index: int) -> bool:
+        """Replay one batch's simulated write accounting without a fetch.
+
+        The fused train path memoises whole block-diagonal *buckets* against
+        :meth:`state_key` and therefore skips the per-member
+        :meth:`batch_adjacency` calls entirely between state changes.  The
+        hardware still re-programs every member's blocks each epoch, so the
+        trainer calls this per skipped member to advance
+        ``block_write_events`` and the per-crossbar endurance counters (and
+        the hit statistic) exactly as the per-member hit path would have.
+
+        Returns ``False`` when no current-state entry exists for
+        ``batch_index`` (cache disabled, cleared, or stale) — the caller
+        must then fall back to a real :meth:`batch_adjacency` fetch so the
+        uncached reference accounting runs instead.
+        """
+        if not self.enabled:
+            return False
+        entry = self._adjacency_cache.get(batch_index)
+        if entry is None or entry.key != self._adjacency_key():
+            return False
+        self.stats.adjacency_hits += 1
+        self.adjacency_mapper.block_write_events += entry.num_blocks
+        for crossbar, count in entry.writes_per_crossbar:
+            crossbar.record_simulated_writes(count)
+        return True
+
     # ------------------------------------------------------------------ #
     # Effective weights
     # ------------------------------------------------------------------ #

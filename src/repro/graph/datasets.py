@@ -24,6 +24,7 @@ figures and the surrogate's actual statistics.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -400,6 +401,209 @@ def synthetic_graph_streaming(
             "streaming": 1.0,
         }
     )
+    return graph
+
+
+def edge_list_graph_streaming(
+    path: str,
+    num_features: int = 64,
+    num_classes: int = 16,
+    feature_noise: float = 0.6,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    name: Optional[str] = None,
+    seed: Optional[int] = 0,
+    chunk_nodes: int = 262_144,
+    chunk_edges: int = 1_048_576,
+) -> Graph:
+    """Load a real graph file through the streaming-generation contract.
+
+    Reads either a NumPy ``.npz`` archive or a whitespace/comma-separated
+    text edge list and produces a :class:`Graph` with exactly the shape
+    contract of :func:`synthetic_graph_streaming` — chunked scratch (never
+    more than ``chunk_nodes`` feature rows or ``chunk_edges`` parsed edges
+    of temporary state beyond the outputs), single-label classes, metadata
+    ``streaming`` marker — so Reddit/Amazon2M-class exports run through the
+    streaming partitioner/trainer when present without being baked into the
+    repo.
+
+    ``.npz`` contents (all optional except the edges):
+
+    * ``edges`` — ``(E, 2)`` int array, or separate ``src``/``dst`` arrays;
+    * ``num_nodes`` — scalar (default: max node id + 1);
+    * ``features`` — ``(N, F)`` float array; synthesised when absent;
+    * ``labels`` — ``(N,)`` int array; synthesised when absent;
+    * ``train_mask``/``val_mask``/``test_mask`` — ``(N,)`` bool arrays
+      (used only when all three are present; a permutation split is drawn
+      otherwise).
+
+    Text edge lists hold one ``src dst`` pair per line (``#``/``%`` comment
+    lines and blank lines are skipped) and are parsed in chunks of
+    ``chunk_edges`` lines.  Missing features/labels are synthesised with the
+    same chunked centroid recipe as the synthetic streaming generator, from
+    pseudo-communities drawn per node — a *surrogate* signal for structure-
+    only exports, clearly weaker than real features but sufficient to
+    exercise the training pipeline end-to-end.
+    """
+    num_features = check_positive_int(num_features, "num_features")
+    num_classes = check_positive_int(num_classes, "num_classes")
+    chunk_nodes = check_positive_int(chunk_nodes, "chunk_nodes")
+    chunk_edges = check_positive_int(chunk_edges, "chunk_edges")
+    check_fraction(train_fraction, "train_fraction")
+    check_fraction(val_fraction, "val_fraction")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train_fraction + val_fraction must be < 1")
+    rng = ensure_rng(seed)
+    path = str(path)
+
+    features = labels = None
+    masks = None
+    num_nodes = None
+    if path.endswith(".npz"):
+        with np.load(path) as archive:
+            if "edges" in archive:
+                edges = np.asarray(archive["edges"], dtype=np.int64)
+                if edges.ndim != 2 or edges.shape[1] != 2:
+                    raise ValueError(
+                        f"'edges' must have shape (E, 2), got {edges.shape}"
+                    )
+            elif "src" in archive and "dst" in archive:
+                edges = np.stack(
+                    [
+                        np.asarray(archive["src"], dtype=np.int64),
+                        np.asarray(archive["dst"], dtype=np.int64),
+                    ],
+                    axis=1,
+                )
+            else:
+                raise ValueError(
+                    f"{path}: expected 'edges' or 'src'+'dst' arrays, "
+                    f"found {sorted(archive.files)}"
+                )
+            if "num_nodes" in archive:
+                num_nodes = int(np.asarray(archive["num_nodes"]).reshape(-1)[0])
+            if "features" in archive:
+                features = np.asarray(archive["features"], dtype=np.float64)
+            if "labels" in archive:
+                labels = np.asarray(archive["labels"], dtype=np.int64)
+            mask_names = ("train_mask", "val_mask", "test_mask")
+            if all(key in archive for key in mask_names):
+                masks = tuple(
+                    np.asarray(archive[key], dtype=bool) for key in mask_names
+                )
+    else:
+        src_parts = []
+        dst_parts = []
+        pending: list = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                text = line.strip()
+                if not text or text[0] in "#%":
+                    continue
+                fields = text.replace(",", " ").split()
+                if len(fields) < 2:
+                    raise ValueError(f"{path}: malformed edge line {text!r}")
+                pending.append((int(fields[0]), int(fields[1])))
+                if len(pending) >= chunk_edges:
+                    block = np.asarray(pending, dtype=np.int64)
+                    pending = []
+                    src_parts.append(block[:, 0])
+                    dst_parts.append(block[:, 1])
+        if pending:
+            block = np.asarray(pending, dtype=np.int64)
+            src_parts.append(block[:, 0])
+            dst_parts.append(block[:, 1])
+        if not src_parts:
+            raise ValueError(f"{path}: no edges found")
+        edges = np.stack(
+            [np.concatenate(src_parts), np.concatenate(dst_parts)], axis=1
+        )
+
+    if edges.size and edges.min() < 0:
+        raise ValueError(f"{path}: negative node id in edge list")
+    min_nodes = int(edges.max()) + 1 if edges.size else 0
+    if num_nodes is None:
+        num_nodes = max(
+            min_nodes,
+            features.shape[0] if features is not None else 0,
+            labels.shape[0] if labels is not None else 0,
+        )
+    elif num_nodes < min_nodes:
+        raise ValueError(
+            f"{path}: num_nodes={num_nodes} but edges reference node "
+            f"{min_nodes - 1}"
+        )
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+
+    if labels is not None:
+        if labels.shape != (num_nodes,):
+            raise ValueError(
+                f"labels must have shape ({num_nodes},), got {labels.shape}"
+            )
+        communities = labels
+        num_classes = int(labels.max()) + 1 if labels.size else num_classes
+    else:
+        # Structure-only export: pseudo-communities stand in for the label
+        # signal, mirroring the synthetic streaming generator.
+        communities = rng.integers(0, num_classes, size=num_nodes)
+        labels = (communities % num_classes).astype(np.int64)
+
+    if features is not None:
+        if features.ndim != 2 or features.shape[0] != num_nodes:
+            raise ValueError(
+                f"features must have shape ({num_nodes}, F), got "
+                f"{features.shape}"
+            )
+    else:
+        # Same chunked centroid recipe as synthetic_graph_streaming: scratch
+        # never exceeds one chunk of latent rows.
+        latent_dim = min(num_features, max(num_classes, 8))
+        centroids = rng.normal(0.0, 1.0, size=(num_classes, latent_dim))
+        projection = rng.normal(
+            0.0, 1.0 / np.sqrt(latent_dim), size=(latent_dim, num_features)
+        )
+        features = np.empty((num_nodes, num_features), dtype=np.float64)
+        label_bins = communities % num_classes
+        for start in range(0, num_nodes, chunk_nodes):
+            stop = min(start + chunk_nodes, num_nodes)
+            latent = centroids[label_bins[start:stop]]
+            latent += feature_noise * rng.normal(0.0, 1.0, size=latent.shape)
+            chunk = latent @ projection
+            chunk += 0.05 * rng.normal(0.0, 1.0, size=chunk.shape)
+            features[start:stop] = chunk
+
+    if masks is not None:
+        train_mask, val_mask, test_mask = masks
+        for mask_name, mask in zip(
+            ("train_mask", "val_mask", "test_mask"), masks
+        ):
+            if mask.shape != (num_nodes,):
+                raise ValueError(
+                    f"{mask_name} must have shape ({num_nodes},), got "
+                    f"{mask.shape}"
+                )
+    else:
+        order = rng.permutation(num_nodes)
+        n_train = int(train_fraction * num_nodes)
+        n_val = int(val_fraction * num_nodes)
+        train_mask = np.zeros(num_nodes, dtype=bool)
+        val_mask = np.zeros(num_nodes, dtype=bool)
+        test_mask = np.zeros(num_nodes, dtype=bool)
+        train_mask[order[:n_train]] = True
+        val_mask[order[n_train : n_train + n_val]] = True
+        test_mask[order[n_train + n_val :]] = True
+
+    graph = graph_from_edges(
+        num_nodes=num_nodes,
+        edges=edges,
+        features=features,
+        labels=labels,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+        name=name or os.path.splitext(os.path.basename(path))[0],
+    )
+    graph.metadata.update({"streaming": 1.0, "real_edges": 1.0})
     return graph
 
 

@@ -149,6 +149,15 @@ class CSRMatrix:
         separately (rows never mix across blocks — see
         :func:`repro.tensor.kernels.block_diag_csr`); the fusion exists to
         run one kernel call per mini-batch *bucket* instead of one per graph.
+
+        Used by both fused eval and fused training forwards
+        (``FaultyTrainer`` train mode ``"fused"``); training additionally
+        relies on the structure contract in the *backward* direction — the
+        transposed fused matrix is block-diagonal too, so gradient rows
+        never mix across members either.  Callers fusing the same member
+        set repeatedly should memoise the result against their
+        invalidation key (the trainer keys on
+        ``HardwareStateCache.state_key()``) rather than re-fusing per call.
         """
         parts = [(m.indptr, m.indices, m.data, m.shape) for m in mats]
         indptr, indices, data, shape, row_offsets = kernels.block_diag_csr(parts)

@@ -3,15 +3,25 @@
 Both losses accept an optional boolean node mask so Cluster-GCN batches can be
 trained on their training nodes only (validation/test nodes inside a batch do
 not contribute gradient).
+
+The ``*_segmented`` variants compute one loss value **per bucket member** of a
+fused block-diagonal training forward (``FaultyTrainer`` train mode
+``"fused"``): the masked rows of every member are reduced with that member's
+own mean-reduction weight, so the gradient reaching each logit row is exactly
+the gradient the per-member reference loss would produce (the per-row scale
+``-1/count_k`` resp. ``1/(count_k·num_labels)`` is computed identically —
+structural, bit-identical).  Only the member loss *values* go through a
+``segment_sum``/``reduceat`` whose summation order differs from ``np.sum``
+(round-off contract; see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.tensor import ops
+from repro.tensor import kernels, ops
 from repro.tensor.tensor import Tensor
 
 
@@ -82,3 +92,80 @@ def bce_with_logits(
     probs = ops.sigmoid(picked_logits)
     loss = -(picked_labels * ops.log(probs) + (1.0 - picked_labels) * ops.log(1.0 - probs))
     return loss.mean()
+
+
+def cross_entropy_segmented(
+    logits: Tensor,
+    labels: np.ndarray,
+    selected: np.ndarray,
+    member_ids: np.ndarray,
+    counts: np.ndarray,
+    plan: Optional["kernels.SegmentPlan"] = None,
+) -> Tuple[Tensor, List[float]]:
+    """Per-member masked cross-entropy over one fused train bucket.
+
+    Parameters
+    ----------
+    logits:
+        ``(fused_rows, num_classes)`` scores of the block-diagonal forward.
+    labels:
+        ``(fused_rows,)`` integer labels (member labels concatenated).
+    selected:
+        Fused-row indices of the train-masked rows, in member order.
+    member_ids:
+        ``(len(selected),)`` bucket-member index per selected row (sorted).
+    counts:
+        ``(num_members,)`` selected-row count per member.
+    plan:
+        Optional precomputed :func:`repro.tensor.kernels.segment_plan` for
+        ``member_ids`` (the trainer memoises it per bucket).
+
+    Returns ``(total, member_losses)`` where ``total`` is the sum of the
+    per-member mean losses (the tensor to ``backward()``) and
+    ``member_losses`` lists each member's loss value — what the reference
+    ``cross_entropy`` would have returned per member, up to ``reduceat``
+    round-off.  A member with no selected rows contributes exactly ``0.0``
+    to both (matching the reference's ``Tensor(0.0)`` early-out).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    log_probs = ops.log_softmax(logits, axis=1)
+    picked = log_probs[selected, labels[selected]]
+    seg = ops.scatter_add_rows(picked, member_ids, counts.shape[0], plan=plan)
+    # -1/count_k is the exact per-row gradient of the reference
+    # ``-picked.mean()`` (1.0/count then negate — same bits); empty members
+    # get weight 0 so neither value nor gradient flows.
+    neg_inv = np.where(counts > 0, -1.0 / np.maximum(counts, 1), 0.0)
+    member_losses = seg * Tensor(neg_inv)
+    return member_losses.sum(), [float(v) for v in member_losses.data]
+
+
+def bce_with_logits_segmented(
+    logits: Tensor,
+    labels: np.ndarray,
+    selected: np.ndarray,
+    member_ids: np.ndarray,
+    counts: np.ndarray,
+    plan: Optional["kernels.SegmentPlan"] = None,
+) -> Tuple[Tensor, List[float]]:
+    """Per-member masked BCE-with-logits over one fused train bucket.
+
+    Same contract as :func:`cross_entropy_segmented`, for multi-label
+    targets: ``labels`` is ``(fused_rows, num_labels)`` and each member's
+    loss is the mean over its ``count_k × num_labels`` selected elements,
+    with the per-element gradient ``1/(count_k·num_labels)`` computed
+    exactly as the reference ``loss.mean()`` would.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.int64)
+    picked_logits = logits[selected]
+    picked_labels = Tensor(labels[selected])
+    probs = ops.sigmoid(picked_logits)
+    loss = -(picked_labels * ops.log(probs) + (1.0 - picked_labels) * ops.log(1.0 - probs))
+    seg = ops.scatter_add_rows(loss, member_ids, counts.shape[0], plan=plan)
+    num_labels = int(logits.shape[1])
+    inv = np.where(
+        counts > 0, 1.0 / np.maximum(counts * num_labels, 1), 0.0
+    )
+    member_losses = seg.sum(axis=1) * Tensor(inv)
+    return member_losses.sum(), [float(v) for v in member_losses.data]

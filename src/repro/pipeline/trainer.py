@@ -46,13 +46,19 @@ from repro.hardware.bist import BISTReport
 from repro.hardware.endurance import PostDeploymentSchedule
 from repro.nn.base import BatchInputs, GNNModel
 from repro.nn.factory import build_model
-from repro.nn.losses import bce_with_logits, cross_entropy
+from repro.nn.losses import (
+    bce_with_logits,
+    bce_with_logits_segmented,
+    cross_entropy,
+    cross_entropy_segmented,
+)
 from repro.nn.metrics import evaluate_predictions
 from repro.pipeline.mapping_engine import (
     AdjacencyCrossbarMapper,
     HardwareEnvironment,
     WeightCrossbarMapper,
 )
+from repro.tensor import kernels
 from repro.tensor.kernels import KernelStatsView
 from repro.tensor.optim import Adam, SGD
 from repro.tensor.tensor import no_grad
@@ -79,12 +85,21 @@ class TrainingConfig:
     #: fused into one block-diagonal forward until adding the next batch
     #: would exceed this many nodes (a bucket always holds ≥ 1 batch).
     eval_bucket_nodes: int = 4096
+    #: Node budget of one *training* bucket (``FaultyTrainer`` train modes
+    #: ``"accumulate"``/``"fused"``): consecutive mini-batches whose
+    #: gradients are accumulated into one optimizer step — fused into one
+    #: block-diagonal forward in the fused mode.  Same layout rule as
+    #: ``eval_bucket_nodes``; ``train_bucket_nodes=1`` degenerates every
+    #: bucket to a single batch (the seed step granularity).
+    train_bucket_nodes: int = 4096
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.eval_bucket_nodes <= 0:
             raise ValueError("eval_bucket_nodes must be positive")
+        if self.train_bucket_nodes <= 0:
+            raise ValueError("train_bucket_nodes must be positive")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if self.batch_clusters > self.num_parts:
@@ -165,6 +180,7 @@ class FaultyTrainer:
         use_batched_eval: bool = True,
         use_agg_precompute: bool = True,
         streaming_blocks: Optional[bool] = None,
+        train_mode: str = "per_batch",
     ) -> None:
         self.graph = graph
         self.model_name = model_name.lower()
@@ -209,6 +225,27 @@ class FaultyTrainer:
         #: (:meth:`apply_fault_delta`) needs the retained blocks and raises
         #: in this mode.
         self.streaming_blocks = streaming_blocks
+        #: Training-step granularity (see ``docs/ARCHITECTURE.md``, "Batched
+        #: multi-graph training"):
+        #:
+        #: * ``"per_batch"`` (default) — the seed loop: one forward/backward/
+        #:   optimizer step per mini-batch, bit-identical to HEAD.
+        #: * ``"accumulate"`` — the reference bucket semantics: consecutive
+        #:   batches are grouped into buckets capped at
+        #:   ``config.train_bucket_nodes`` nodes; ``zero_grad`` runs once per
+        #:   bucket, each member's loss backward accumulates into the shared
+        #:   parameter gradients, and the optimizer steps once per bucket.
+        #: * ``"fused"`` — same semantics as ``"accumulate"`` through one
+        #:   block-diagonal forward per bucket and a segmented per-member
+        #:   loss; gradients are the sum of the per-member reference
+        #:   gradients (bit-identical structural reductions, round-off
+        #:   contract where GEMMs/``reduceat`` reassociate).
+        if train_mode not in ("per_batch", "accumulate", "fused"):
+            raise ValueError(
+                "train_mode must be 'per_batch', 'accumulate' or 'fused', "
+                f"got {train_mode!r}"
+            )
+        self.train_mode = train_mode
         if strategy.requires_hardware and hardware is None:
             raise ValueError(
                 f"strategy {strategy.name!r} requires a HardwareEnvironment"
@@ -261,6 +298,18 @@ class FaultyTrainer:
         self._eval_buckets: Optional[List[List[int]]] = None
         self._fused_eval_cache: Dict[int, tuple] = {}
         self._batched_eval_forwards = 0
+        # Batched-train state: bucket layout for the accumulate/fused modes,
+        # the per-bucket workspace shared with eval (member offsets, fused
+        # features/labels, loss segment plan — all hardware-independent,
+        # built once per bucket), and the fused train-input memo keyed on
+        # the hardware state like the eval one.  All invalidated together
+        # when ``self.batches`` is replaced (see ``_check_bucket_staleness``).
+        self._train_buckets: Optional[List[List[int]]] = None
+        self._bucket_workspaces: Dict[tuple, dict] = {}
+        self._fused_train_cache: Dict[tuple, tuple] = {}
+        self._batched_train_buckets = 0
+        self._train_fused_forwards = 0
+        self._buckets_for = self.batches
         self.model.set_agg_precompute(self.use_agg_precompute)
         # Delta view of the process-wide segment-reduce kernel counters;
         # surfaces through Strategy.mapping_engine_stats() -> trainer
@@ -462,20 +511,12 @@ class FaultyTrainer:
 
         for epoch in range(config.epochs):
             self.model.train()
-            epoch_losses: List[float] = []
-            order = self._train_rng.permutation(len(self.batches))
-            for batch_index in order:
-                batch = self.batches[batch_index]
-                inputs = self._batch_inputs(int(batch_index))
-                logits = self.model(inputs)
-                loss = self._loss(
-                    logits, batch.subgraph.labels, batch.subgraph.train_mask
-                )
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                self.strategy.after_optimizer_step(self.model)
-                epoch_losses.append(loss.item())
+            if self.train_mode == "accumulate":
+                epoch_losses = self._train_epoch_accumulation()
+            elif self.train_mode == "fused":
+                epoch_losses = self._train_epoch_fused()
+            else:
+                epoch_losses = self._train_epoch_per_batch()
 
             self._end_of_epoch(epoch)
             result.loss_history.append(float(np.mean(epoch_losses)))
@@ -499,6 +540,252 @@ class FaultyTrainer:
         result.final_test_accuracy = result.test_accuracy_history[-1]
         result.counters = self._counters()
         return result
+
+    def _train_epoch_per_batch(self) -> List[float]:
+        """The seed training epoch: one forward/backward/step per batch."""
+        epoch_losses: List[float] = []
+        order = self._train_rng.permutation(len(self.batches))
+        for batch_index in order:
+            batch = self.batches[batch_index]
+            inputs = self._batch_inputs(int(batch_index))
+            logits = self.model(inputs)
+            loss = self._loss(
+                logits, batch.subgraph.labels, batch.subgraph.train_mask
+            )
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            self.strategy.after_optimizer_step(self.model)
+            epoch_losses.append(loss.item())
+        return epoch_losses
+
+    def _train_epoch_accumulation(self) -> List[float]:
+        """Reference bucket semantics: per-member steps, one update per bucket.
+
+        ``zero_grad`` runs once per bucket, every member's ``backward()``
+        accumulates into the shared parameter gradients, and the optimizer
+        steps once per bucket — the seed-reachable reference the fused mode
+        must match.  The epoch permutation is drawn over *buckets* (one RNG
+        draw of the same length in both bucket modes); with
+        ``train_bucket_nodes=1`` every bucket holds one batch and this
+        degenerates to the seed per-batch loop bit-for-bit.
+        """
+        epoch_losses: List[float] = []
+        buckets = self._train_bucket_layout()
+        order = self._train_rng.permutation(len(buckets))
+        for bucket_position in order:
+            bucket = buckets[int(bucket_position)]
+            kernels.COUNTERS.batched_train_buckets += 1
+            self._batched_train_buckets += 1
+            self.optimizer.zero_grad()
+            for index in bucket:
+                batch = self.batches[index]
+                logits = self.model(self._batch_inputs(index))
+                loss = self._loss(
+                    logits, batch.subgraph.labels, batch.subgraph.train_mask
+                )
+                loss.backward()
+                epoch_losses.append(loss.item())
+            self.optimizer.step()
+            self.strategy.after_optimizer_step(self.model)
+        return epoch_losses
+
+    def _train_epoch_fused(self) -> List[float]:
+        """One block-diagonal forward + one backward + one step per bucket.
+
+        Semantics of :meth:`_train_epoch_accumulation` (same bucket layout,
+        same RNG draws, same per-bucket optimizer/write accounting) with the
+        per-member forwards fused: the segmented loss applies each member's
+        own mean-reduction weight, so the single backward produces exactly
+        the sum of the per-member reference gradients — bit-identical where
+        reductions are structural (per-row sparse kernels, dropout masks,
+        per-row loss gradients), round-off contract where the fused GEMMs /
+        ``reduceat`` reassociate sums (see ``docs/ARCHITECTURE.md``).
+        Single-member buckets take the plain unfused step, which keeps them
+        bit-identical to the reference.
+        """
+        epoch_losses: List[float] = []
+        buckets = self._train_bucket_layout()
+        order = self._train_rng.permutation(len(buckets))
+        for bucket_position in order:
+            bucket = buckets[int(bucket_position)]
+            kernels.COUNTERS.batched_train_buckets += 1
+            self._batched_train_buckets += 1
+            self.optimizer.zero_grad()
+            if len(bucket) == 1:
+                index = bucket[0]
+                batch = self.batches[index]
+                logits = self.model(self._batch_inputs(index))
+                loss = self._loss(
+                    logits, batch.subgraph.labels, batch.subgraph.train_mask
+                )
+                loss.backward()
+                epoch_losses.append(loss.item())
+            else:
+                workspace = self._bucket_workspace(bucket, count_plan_hit=True)
+                fused = self._fused_train_inputs(bucket)
+                kernels.COUNTERS.train_fused_forwards += 1
+                self._train_fused_forwards += 1
+                logits = self.model(
+                    BatchInputs(features=workspace["features"], adjacency=fused)
+                )
+                if self.graph.is_multilabel:
+                    total, member_losses = bce_with_logits_segmented(
+                        logits,
+                        workspace["labels"],
+                        workspace["selected"],
+                        workspace["member_ids"],
+                        workspace["counts"],
+                        plan=workspace["plan"],
+                    )
+                else:
+                    total, member_losses = cross_entropy_segmented(
+                        logits,
+                        workspace["labels"],
+                        workspace["selected"],
+                        workspace["member_ids"],
+                        workspace["counts"],
+                        plan=workspace["plan"],
+                    )
+                if workspace["selected"].size:
+                    total.backward()
+                # The reference fetches the effective weights once per
+                # member forward; the fused forward fetched them once, so
+                # replay the other B-1 simulated re-programming events.
+                if self.strategy.requires_hardware:
+                    for _ in range(len(bucket) - 1):
+                        for name in self._weight_mapper.layouts:
+                            self._weight_mapper.record_write(name)
+                epoch_losses.extend(member_losses)
+            self.optimizer.step()
+            self.strategy.after_optimizer_step(self.model)
+        return epoch_losses
+
+    def _check_bucket_staleness(self) -> None:
+        """Invalidate bucket-derived state when ``self.batches`` is replaced.
+
+        The bucket layouts, per-bucket workspaces and fused input memos are
+        all derived from the batch list; callers that swap ``self.batches``
+        after construction (sweep harnesses re-using a trainer shell) would
+        otherwise keep serving buckets of the old composition.
+        """
+        if self._buckets_for is not self.batches:
+            self._buckets_for = self.batches
+            self._eval_buckets = None
+            self._train_buckets = None
+            self._fused_eval_cache.clear()
+            self._fused_train_cache.clear()
+            self._bucket_workspaces.clear()
+
+    def _train_bucket_layout(self) -> List[List[int]]:
+        """Consecutive-batch buckets capped at ``config.train_bucket_nodes``.
+
+        Mirrors :meth:`_eval_bucket_layout` (a bucket always holds at least
+        one batch); the train and eval caps are independent so the two
+        layouts may differ.
+        """
+        self._check_bucket_staleness()
+        if self._train_buckets is None:
+            self._train_buckets = self._bucket_layout(
+                int(self.config.train_bucket_nodes)
+            )
+        return self._train_buckets
+
+    def _bucket_layout(self, cap: int) -> List[List[int]]:
+        buckets: List[List[int]] = []
+        current: List[int] = []
+        nodes = 0
+        for index, batch in enumerate(self.batches):
+            if current and nodes + batch.num_nodes > cap:
+                buckets.append(current)
+                current, nodes = [], 0
+            current.append(index)
+            nodes += batch.num_nodes
+        if current:
+            buckets.append(current)
+        return buckets
+
+    def _bucket_workspace(self, bucket: List[int], count_plan_hit: bool = False) -> dict:
+        """Hardware-independent per-bucket arrays, built once per bucket.
+
+        Shared by the fused train and eval paths (keyed on the member tuple,
+        so differing train/eval layouts never collide): member row offsets,
+        the concatenated feature matrix (stable identity — the aggregation
+        precompute cache keys on it), concatenated labels, the train-mask
+        row selection with its member ids/counts, and the memoised
+        :class:`~repro.tensor.kernels.SegmentPlan` for the per-member loss
+        scatter.  ``count_plan_hit`` counts reuse (the fused train path) in
+        ``kernel_segment_plan_cache_hits``.
+        """
+        self._check_bucket_staleness()
+        key = tuple(bucket)
+        workspace = self._bucket_workspaces.get(key)
+        if workspace is not None:
+            if count_plan_hit:
+                kernels.COUNTERS.segment_plan_cache_hits += 1
+            return workspace
+        subgraphs = [self.batches[index].subgraph for index in bucket]
+        sizes = [self.batches[index].num_nodes for index in bucket]
+        offsets = np.concatenate(
+            ([0], np.cumsum(np.asarray(sizes, dtype=np.int64)))
+        )
+        if len(bucket) == 1:
+            features = subgraphs[0].features
+            labels = subgraphs[0].labels
+        else:
+            features = np.concatenate([sub.features for sub in subgraphs], axis=0)
+            labels = np.concatenate([sub.labels for sub in subgraphs], axis=0)
+        selected_parts = [
+            np.flatnonzero(sub.train_mask) + offsets[k]
+            for k, sub in enumerate(subgraphs)
+        ]
+        counts = np.array([part.size for part in selected_parts], dtype=np.int64)
+        selected = (
+            np.concatenate(selected_parts)
+            if selected_parts
+            else np.zeros(0, dtype=np.int64)
+        )
+        member_ids = np.repeat(np.arange(len(bucket), dtype=np.int64), counts)
+        workspace = {
+            "offsets": offsets,
+            "features": features,
+            "labels": labels,
+            "selected": selected,
+            "member_ids": member_ids,
+            "counts": counts,
+            "plan": kernels.segment_plan(member_ids, len(bucket)),
+        }
+        self._bucket_workspaces[key] = workspace
+        return workspace
+
+    def _fused_train_inputs(self, bucket: List[int]) -> CSRMatrix:
+        """Block-diagonal training adjacency of one bucket, state-memoised.
+
+        Same state-key memoisation as the eval bucket cache, with one
+        difference in the accounting: training re-programs every member's
+        blocks each epoch, so a memo hit replays the per-member simulated
+        write events through
+        :meth:`~repro.core.hw_state.HardwareStateCache.replay_adjacency_writes`
+        (falling back to a real per-member fetch when the hardware-state
+        cache is disabled) instead of skipping them like eval does.
+        """
+        key = (
+            self._hw_cache.state_key()
+            if self.strategy.requires_hardware
+            else ("static",)
+        )
+        cache_key = tuple(bucket)
+        entry = self._fused_train_cache.get(cache_key)
+        if entry is not None and entry[0] == key:
+            if self.strategy.requires_hardware:
+                for index in bucket:
+                    if not self._hw_cache.replay_adjacency_writes(index):
+                        self._batch_inputs(index)
+            return entry[1]
+        inputs = [self._batch_inputs(index) for index in bucket]
+        fused, _ = CSRMatrix.block_diag([item.adjacency for item in inputs])
+        self._fused_train_cache[cache_key] = (key, fused)
+        return fused
 
     def _end_of_epoch(self, epoch: int) -> None:
         """Post-deployment fault injection, BIST re-scan, mapping refresh."""
@@ -686,24 +973,16 @@ class FaultyTrainer:
     def _eval_bucket_layout(self) -> List[List[int]]:
         """Consecutive-batch buckets capped at ``config.eval_bucket_nodes``.
 
-        Fixed for the trainer's lifetime (batch composition never changes);
-        a bucket always holds at least one batch, so an oversized batch forms
-        its own (B=1, unfused) bucket.
+        Cached per batch-list: a bucket always holds at least one batch, so
+        an oversized batch forms its own (B=1, unfused) bucket.  Replacing
+        ``self.batches`` after construction invalidates the cached layout
+        (and every bucket-derived memo) via :meth:`_check_bucket_staleness`.
         """
+        self._check_bucket_staleness()
         if self._eval_buckets is None:
-            cap = int(self.config.eval_bucket_nodes)
-            buckets: List[List[int]] = []
-            current: List[int] = []
-            nodes = 0
-            for index, batch in enumerate(self.batches):
-                if current and nodes + batch.num_nodes > cap:
-                    buckets.append(current)
-                    current, nodes = [], 0
-                current.append(index)
-                nodes += batch.num_nodes
-            if current:
-                buckets.append(current)
-            self._eval_buckets = buckets
+            self._eval_buckets = self._bucket_layout(
+                int(self.config.eval_bucket_nodes)
+            )
         return self._eval_buckets
 
     def _bucket_forward(self, bucket: List[int]) -> List[np.ndarray]:
@@ -731,19 +1010,19 @@ class FaultyTrainer:
         )
         entry = self._fused_eval_cache.get(bucket[0])
         if entry is None or entry[0] != key:
+            # Member offsets and the concatenated features come from the
+            # bucket workspace shared with the fused train path — their
+            # identity is stable across hardware-state changes, so only the
+            # adjacency fusion is rebuilt here.
+            workspace = self._bucket_workspace(bucket)
             inputs = [self._batch_inputs(index) for index in bucket]
             if len(inputs) == 1:
                 fused = inputs[0].adjacency
-                features = inputs[0].features
-                offsets = np.array([0, int(fused.shape[0])], dtype=np.int64)
             else:
-                fused, offsets = CSRMatrix.block_diag(
+                fused, _ = CSRMatrix.block_diag(
                     [item.adjacency for item in inputs]
                 )
-                features = np.concatenate(
-                    [item.features for item in inputs], axis=0
-                )
-            entry = (key, fused, features, offsets)
+            entry = (key, fused, workspace["features"], workspace["offsets"])
             self._fused_eval_cache[bucket[0]] = entry
         _, fused, features, offsets = entry
         logits = self.model(BatchInputs(features=features, adjacency=fused))
@@ -785,6 +1064,13 @@ class FaultyTrainer:
         counters["batched_eval_forwards"] = float(self._batched_eval_forwards)
         counters["batched_eval_buckets"] = float(
             len(self._eval_bucket_layout()) if self.use_batched_eval else 0
+        )
+        counters["batched_train_buckets"] = float(self._batched_train_buckets)
+        counters["train_fused_forwards"] = float(self._train_fused_forwards)
+        counters["train_bucket_layout"] = float(
+            len(self._train_bucket_layout())
+            if self.train_mode in ("accumulate", "fused")
+            else 0
         )
         engine_stats = self.strategy.mapping_engine_stats()
         if engine_stats:

@@ -301,18 +301,27 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     return out
 
 
-def scatter_add_rows(x: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+def scatter_add_rows(
+    x: Tensor,
+    index: np.ndarray,
+    num_rows: int,
+    plan: Optional["kernels.SegmentPlan"] = None,
+) -> Tensor:
     """Sum rows of ``x`` into ``num_rows`` buckets given by ``index``.
 
     ``out[i] = sum_{j : index[j] == i} x[j]``.  Used for neighbourhood
-    aggregation over edge lists (GraphSAGE mean aggregation, sparse GAT).
-    The reduction runs through :func:`repro.tensor.kernels.segment_sum`
-    (sort + ``reduceat``) instead of the seed's un-buffered ``np.add.at``.
+    aggregation over edge lists (GraphSAGE mean aggregation, sparse GAT)
+    and the segmented per-member losses of fused train buckets.  The
+    reduction runs through :func:`repro.tensor.kernels.segment_sum`
+    (sort + ``reduceat``) instead of the seed's un-buffered ``np.add.at``;
+    callers scattering repeatedly through the same index (the per-bucket
+    loss segments) can pass a precomputed
+    :func:`repro.tensor.kernels.segment_plan` to amortise the sort.
     """
     index = np.asarray(index, dtype=np.int64)
     if index.ndim != 1 or index.shape[0] != x.data.shape[0]:
         raise ValueError("index must be 1-D with one entry per row of x")
-    out_data = kernels.segment_sum(x.data, index, num_rows)
+    out_data = kernels.segment_sum(x.data, index, num_rows, plan=plan)
 
     def _backward() -> None:
         if x.requires_grad:

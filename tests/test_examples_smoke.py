@@ -78,6 +78,9 @@ def test_readme_large_graph_quickstart():
     )
     assert proc.returncode == 0, f"large_graph failed:\n{proc.stderr}"
     assert "block mode: streaming" in proc.stdout
+    # The README advertises the fused train step as the example's default;
+    # the trainer must report it active (not silently fall back).
+    assert "train mode: fused" in proc.stdout
     for needle in ("peak RSS", "blocks streamed through", "test accuracy"):
         assert needle in proc.stdout, (
             f"expected {needle!r} in large_graph output:\n{proc.stdout}"
